@@ -1,0 +1,72 @@
+//! Criterion microbenches for the dense block kernels (the cost-model
+//! calibration points: flops per second of potrf/trsm/gemm/getrf).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_sparse::kernels;
+use std::hint::black_box;
+
+fn spd_block(n: usize) -> Vec<f64> {
+    let mut a = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            a[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
+        }
+    }
+    a
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &n in &[16usize, 32, 64] {
+        let a = spd_block(n);
+        group.throughput(Throughput::Elements((n * n * n) as u64 / 3));
+        group.bench_with_input(BenchmarkId::new("potrf", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut x = a.clone();
+                kernels::potrf(black_box(&mut x), n).unwrap();
+                black_box(x)
+            })
+        });
+        let l = {
+            let mut x = a.clone();
+            kernels::potrf(&mut x, n).unwrap();
+            x
+        };
+        let panel: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("trsm_rlt", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut x = panel.clone();
+                kernels::trsm_rlt(black_box(&mut x), n, &l, n);
+                black_box(x)
+            })
+        });
+        group.throughput(Throughput::Elements(2 * (n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("gemm_nt_sub", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cmat = panel.clone();
+                kernels::gemm_nt_sub(black_box(&mut cmat), n, n, &a, &panel, n);
+                black_box(cmat)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("getrf", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut x = a.clone();
+                let mut piv = vec![0u32; n];
+                kernels::getrf(black_box(&mut x), n, n, &mut piv).unwrap();
+                black_box((x, piv))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_kernels
+}
+criterion_main!(benches);

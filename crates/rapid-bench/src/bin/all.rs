@@ -1,0 +1,25 @@
+//! Run every table/figure reproduction in sequence (the EXPERIMENTS.md
+//! driver). Pass `--paper` for paper-scale matrices.
+
+use std::process::Command;
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in [
+        "fig2", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+        "fig7", "table8", "ablation",
+    ] {
+        println!("\n================ {bin} ================\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if paper {
+            cmd.arg("--paper");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 7: memory scalability `S1 / S_p^A` of the three orderings vs
+//! the perfect `S1/p` line, for sparse Cholesky and sparse LU.
+//!
+//! Paper shape: DTS hugs the perfect line (Corollaries 1–2), MPO sits
+//! between, RCP flattens out — dramatically so for LU, where its per
+//! processor requirement barely shrinks with p.
+
+use rapid_bench::harness::*;
+
+fn run(name: &str, w: &Workload, ps: &[usize]) {
+    let orders = [Order::Rcp, Order::Mpo, Order::Dts];
+    let rows = memory_scalability(w, ps, &orders);
+    let mut header = vec!["p".to_string()];
+    header.extend(orders.iter().map(|o| o.name().to_string()));
+    header.push("perfect".to_string());
+    let frows: Vec<(String, Vec<String>)> = rows
+        .iter()
+        .map(|(p, vals)| {
+            let mut v: Vec<String> = vals.iter().map(|x| format!("{x:.2}")).collect();
+            v.push(format!("{p:.2}"));
+            (p.to_string(), v)
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 7: memory scalability S1/S_p ({name})"),
+            &header,
+            &frows
+        )
+    );
+    // ASCII plot: one row per ordering, scaled to the perfect value.
+    println!("Scalability as fraction of perfect (#=10%):");
+    for (oi, o) in orders.iter().enumerate() {
+        print!("  {:<4}", o.name());
+        for (p, vals) in &rows {
+            let frac = vals[oi] / *p as f64;
+            print!(" p{p}:[{}{}]", "#".repeat((frac * 10.0).round() as usize), " ".repeat(10usize.saturating_sub((frac * 10.0).round() as usize)));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps = procs_sweep(scale);
+    for (name, w) in cholesky_workloads(scale) {
+        run(&format!("sparse Cholesky, {name}"), &w, &ps);
+    }
+    let (name, w) = lu_workload(scale);
+    run(&format!("sparse LU, {name}"), &w, &ps);
+    println!("Paper shape: DTS ≈ perfect; MPO between; RCP flat (worst for LU).");
+}

@@ -1,0 +1,46 @@
+//! Table 1: average per-processor memory usage of the original RAPID
+//! (no recycling) over the `S1/p` lower bound, sparse Cholesky.
+//!
+//! Paper values: 1.88 (p=2), 3.19 (4), 4.64 (8), 5.72 (16) — the ratio
+//! grows with p because each processor owns fewer permanent objects while
+//! needing more volatile copies.
+
+use rapid_bench::harness::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps: Vec<usize> = match scale {
+        Scale::Small => vec![2, 4, 8],
+        Scale::Paper => vec![2, 4, 8, 16],
+    };
+    let workloads = cholesky_workloads(scale);
+    // The paper reports the average across its Cholesky test matrices.
+    let mut rows = Vec::new();
+    let mut ratios = vec![0.0f64; ps.len()];
+    for (name, w) in &workloads {
+        let r = usage_ratio_row(w, &ps);
+        for (i, &(_, v)) in r.iter().enumerate() {
+            ratios[i] += v / workloads.len() as f64;
+        }
+        rows.push((
+            name.clone(),
+            r.iter().map(|&(_, v)| format!("{v:.2}")).collect::<Vec<_>>(),
+        ));
+    }
+    rows.push((
+        "average".to_string(),
+        ratios.iter().map(|v| format!("{v:.2}")).collect(),
+    ));
+    let mut header = vec!["#processors".to_string()];
+    header.extend(ps.iter().map(|p| p.to_string()));
+    println!(
+        "{}",
+        render_table(
+            "Table 1: per-processor memory over S1/p, sparse Cholesky (no recycling)",
+            &header,
+            &rows
+        )
+    );
+    println!("Paper (avg): 1.88 (p=2), 3.19 (p=4), 4.64 (p=8), 5.72 (p=16).");
+    println!("Expected shape: ratio grows monotonically with p.");
+}

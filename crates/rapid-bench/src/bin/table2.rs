@@ -1,0 +1,46 @@
+//! Table 2: overhead of the active memory management scheme for sparse
+//! Cholesky under 100/75/50/40 % of `TOT` (RCP ordering).
+//!
+//! Paper shape: PT increase grows as memory shrinks and as p grows
+//! (3.8 % at p=2/100 % up to ~65 % at p=32/40 %); small p + small memory
+//! are non-executable (`∞`); #MAPs shrink toward 2 as p grows because
+//! each processor owns fewer objects.
+
+use rapid_bench::harness::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps = procs_sweep(scale);
+    let pcts = [1.0, 0.75, 0.5, 0.4];
+    let workloads = cholesky_workloads(scale);
+    for (name, w) in &workloads {
+        let rows = mem_constraint_table(w, &ps, &pcts, Order::Rcp);
+        let mut header = vec!["P".to_string()];
+        for pct in pcts {
+            header.push(format!("{:.0}% PT", pct * 100.0));
+            header.push(format!("{:.0}% #MAPs", pct * 100.0));
+        }
+        let frows: Vec<(String, Vec<String>)> = rows
+            .iter()
+            .map(|(p, cells)| {
+                let mut v = Vec::new();
+                for c in cells {
+                    v.push(fmt_pct(c.pt_increase));
+                    v.push(fmt_maps(c.maps));
+                }
+                (format!("P={p}"), v)
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Table 2: active memory management overhead, sparse Cholesky ({name})"),
+                &header,
+                &frows
+            )
+        );
+    }
+    println!("Paper shape: PT increase grows with p and with shrinking memory;");
+    println!("∞ entries at small p / small memory; schedules become executable");
+    println!("under tighter memory as p grows (more volatiles to recycle).");
+}

@@ -1,0 +1,42 @@
+//! Table 3: overhead of the active memory management scheme for sparse
+//! LU with partial pivoting (GOODWIN-like matrix, 1-D column blocks).
+//!
+//! Paper shape: smaller PT increases than Cholesky (coarser grain, fewer
+//! objects) but more `∞` entries at small p (larger objects leave less
+//! allocation freedom).
+
+use rapid_bench::harness::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps = procs_sweep(scale);
+    let pcts = [1.0, 0.75, 0.5, 0.4];
+    let (name, w) = lu_workload(scale);
+    let rows = mem_constraint_table(&w, &ps, &pcts, Order::Rcp);
+    let mut header = vec!["P".to_string()];
+    for pct in pcts {
+        header.push(format!("{:.0}% PT", pct * 100.0));
+        header.push(format!("{:.0}% #MAPs", pct * 100.0));
+    }
+    let frows: Vec<(String, Vec<String>)> = rows
+        .iter()
+        .map(|(p, cells)| {
+            let mut v = Vec::new();
+            for c in cells {
+                v.push(fmt_pct(c.pt_increase));
+                v.push(fmt_maps(c.maps));
+            }
+            (format!("P={p}"), v)
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 3: active memory management overhead, sparse LU ({name})"),
+            &header,
+            &frows
+        )
+    );
+    println!("Paper shape: LU degrades less than Cholesky at the same constraint");
+    println!("(17–32% at 40% memory vs 51–65%) but has more ∞ cells at small p.");
+}

@@ -1,0 +1,33 @@
+//! Table 5: average number of MAPs, RCP vs MPO, sparse Cholesky.
+//!
+//! Paper shape: MPO never needs more MAPs than RCP at the same
+//! constraint (e.g. 7.8/4 at p=4, 50 %) because shorter volatile
+//! lifetimes let each allocation window stretch further.
+
+use rapid_bench::harness::*;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ps = procs_sweep(scale);
+    let pcts = [0.75, 0.5, 0.4, 0.25];
+    let header: Vec<String> = std::iter::once("P".to_string())
+        .chain(pcts.iter().map(|p| format!("{:.0}%", p * 100.0)))
+        .collect();
+    for (name, w) in cholesky_workloads(scale) {
+        let rows = maps_table(&w, &ps, &pcts, Order::Rcp, Order::Mpo);
+        let frows: Vec<(String, Vec<String>)> = rows
+            .into_iter()
+            .map(|(p, cells)| (format!("P={p}"), cells))
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Table 5: average #MAPs RCP/MPO, sparse Cholesky ({name})"),
+                &header,
+                &frows
+            )
+        );
+    }
+    println!("Cells: avg#MAPs(RCP)/avg#MAPs(MPO); ∞ = non-executable.");
+    println!("Paper shape: the MPO side never exceeds the RCP side.");
+}

@@ -1,0 +1,7 @@
+//! Shared harness code for the table/figure reproduction binaries.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::*;

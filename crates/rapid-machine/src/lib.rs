@@ -1,0 +1,25 @@
+//! The simulated distributed-memory machine.
+//!
+//! Substitute for the paper's Cray-T3D (64 MB/node, `SHMEM_PUT` RMA with
+//! 2.7 µs overhead and 128 MB/s bandwidth). Provides:
+//!
+//! - [`config`] — machine cost/capacity parameters with a T3D preset,
+//! - [`arena`] — the per-processor fixed-capacity allocator with explicit
+//!   free (best-fit free list over allocation units; first-fit available
+//!   for the fragmentation ablation),
+//! - [`mailbox`] — single-slot address mailboxes: the paper's unbuffered
+//!   address-package channel (a source processor cannot send a new address
+//!   package until the destination has consumed the previous one),
+//! - [`rma`] — the shared-memory RMA window used by the threaded executor:
+//!   one-sided stores into a remote arena at an offset learned from an
+//!   address package, with release/acquire arrival flags.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod config;
+pub mod mailbox;
+pub mod rma;
+
+pub use arena::{Arena, ArenaError};
+pub use config::MachineConfig;

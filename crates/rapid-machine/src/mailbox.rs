@@ -1,0 +1,195 @@
+//! Single-slot address mailboxes (paper §3.2, "address buffering").
+//!
+//! RAPID deliberately does **not** buffer address packages: "each processor
+//! has one buffer space for every other processor in order to receive
+//! addresses from them. If a previous address package has not been consumed
+//! by a destination processor, the source processor will not be able to
+//! send a new address package to this destination processor." The sender
+//! blocks (in the MAP state) until the slot drains; Theorem 1 shows the
+//! receiver always drains it because RA runs in every blocking state.
+//!
+//! [`AddrSlot`] is that one-slot channel: `try_send` fails while the slot
+//! is full, `take` empties it. The full/empty handoff uses release/acquire
+//! ordering so the package contents published by the sender are visible to
+//! the receiver.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// One entry of an address package: object `obj` lives at arena offset
+/// `offset` on the notifying processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrEntry {
+    /// Object id.
+    pub obj: u32,
+    /// Offset of the object's buffer in the receiver's arena.
+    pub offset: u64,
+}
+
+/// An address package: the batch of new addresses a MAP sends to one
+/// collaborating processor.
+pub type AddrPackage = Vec<AddrEntry>;
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const FULL: u8 = 2;
+
+/// A single-slot SPSC mailbox for address packages.
+///
+/// One instance exists per (source, destination) processor pair; only the
+/// source calls [`AddrSlot::try_send`] and only the destination calls
+/// [`AddrSlot::take`].
+#[derive(Debug, Default)]
+pub struct AddrSlot {
+    state: AtomicU8,
+    pkg: Mutex<AddrPackage>,
+}
+
+impl AddrSlot {
+    /// New empty slot.
+    pub fn new() -> Self {
+        AddrSlot { state: AtomicU8::new(EMPTY), pkg: Mutex::new(Vec::new()) }
+    }
+
+    /// Attempt to deposit `pkg`. Fails (returning the package back) while
+    /// the previous package has not been consumed.
+    pub fn try_send(&self, pkg: AddrPackage) -> Result<(), AddrPackage> {
+        match self.state.compare_exchange(
+            EMPTY,
+            WRITING,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                *self.pkg.lock().expect("addr slot poisoned") = pkg;
+                self.state.store(FULL, Ordering::Release);
+                Ok(())
+            }
+            Err(_) => Err(pkg),
+        }
+    }
+
+    /// Consume the package, emptying the slot (the RA operation's per-slot
+    /// step). Returns `None` when the slot is empty.
+    pub fn take(&self) -> Option<AddrPackage> {
+        if self.state.load(Ordering::Acquire) != FULL {
+            return None;
+        }
+        let pkg = std::mem::take(&mut *self.pkg.lock().expect("addr slot poisoned"));
+        self.state.store(EMPTY, Ordering::Release);
+        Some(pkg)
+    }
+
+    /// Is a package waiting?
+    pub fn is_full(&self) -> bool {
+        self.state.load(Ordering::Acquire) == FULL
+    }
+}
+
+/// The full `p × p` mailbox board of a machine: `slot(src, dst)` is the
+/// channel from `src` to `dst`. Diagonal slots exist but are unused.
+#[derive(Debug)]
+pub struct MailboxBoard {
+    nprocs: usize,
+    slots: Vec<AddrSlot>,
+}
+
+impl MailboxBoard {
+    /// Board for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        MailboxBoard {
+            nprocs,
+            slots: (0..nprocs * nprocs).map(|_| AddrSlot::new()).collect(),
+        }
+    }
+
+    /// The slot carrying packages from `src` to `dst`.
+    pub fn slot(&self, src: usize, dst: usize) -> &AddrSlot {
+        &self.slots[src * self.nprocs + dst]
+    }
+
+    /// Drain every package waiting for `dst`, invoking `f(src, package)`.
+    /// This is the RA ("read addresses") service operation.
+    pub fn drain_for<F: FnMut(usize, AddrPackage)>(&self, dst: usize, mut f: F) -> usize {
+        let mut n = 0;
+        for src in 0..self.nprocs {
+            if src == dst {
+                continue;
+            }
+            if let Some(pkg) = self.slot(src, dst).take() {
+                f(src, pkg);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn send_take_roundtrip() {
+        let s = AddrSlot::new();
+        assert!(s.take().is_none());
+        let pkg = vec![AddrEntry { obj: 3, offset: 128 }];
+        s.try_send(pkg.clone()).unwrap();
+        assert!(s.is_full());
+        // Second send must fail until consumed.
+        let p2 = vec![AddrEntry { obj: 4, offset: 0 }];
+        assert_eq!(s.try_send(p2.clone()).unwrap_err(), p2);
+        assert_eq!(s.take().unwrap(), pkg);
+        assert!(!s.is_full());
+        s.try_send(p2).unwrap();
+        assert_eq!(s.take().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn board_drain() {
+        let b = MailboxBoard::new(3);
+        b.slot(0, 2).try_send(vec![AddrEntry { obj: 1, offset: 8 }]).unwrap();
+        b.slot(1, 2).try_send(vec![AddrEntry { obj: 2, offset: 16 }]).unwrap();
+        let mut seen = Vec::new();
+        let n = b.drain_for(2, |src, pkg| seen.push((src, pkg[0].obj)));
+        assert_eq!(n, 2);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+        assert_eq!(b.drain_for(2, |_, _| panic!("slot must be empty")), 0);
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        // The receiver must observe the entries written before FULL.
+        let s = Arc::new(AddrSlot::new());
+        let s2 = Arc::clone(&s);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                let pkg = vec![AddrEntry { obj: i, offset: (i as u64) * 8 }];
+                let mut p = pkg;
+                loop {
+                    match s2.try_send(p) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            p = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0u32;
+        while next < 1000 {
+            if let Some(pkg) = s.take() {
+                assert_eq!(pkg.len(), 1);
+                assert_eq!(pkg[0].obj, next);
+                assert_eq!(pkg[0].offset, (next as u64) * 8);
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared-memory remote-memory-access (RMA) windows.
+//!
+//! On the Cray-T3D, `SHMEM_PUT` deposits data directly into a remote
+//! processor's user space — no buffering, no handshake — provided the
+//! remote address is known in advance. The threaded executor reproduces
+//! those semantics on shared memory: every simulated processor owns an
+//! [`RmaHeap`] (a fixed slab of `f64` cells), and a sender writes into the
+//! receiver's heap at an offset it learned from an address package, then
+//! raises an arrival flag with `Release` ordering. The receiver spins on
+//! the flag with `Acquire` before reading.
+//!
+//! ## Safety protocol
+//!
+//! The heap cells are `UnsafeCell`s; Rust cannot see the happens-before
+//! edges the execution protocol provides, so the put/read primitives are
+//! `unsafe` with the following contract (this is exactly the paper's
+//! dependence-completeness argument, Theorem 1):
+//!
+//! 1. A range is written by at most one thread at a time, and never
+//!    concurrently with a reader.
+//! 2. Writers publish with [`FlagBoard::raise`] (Release) after the last
+//!    store; readers call [`FlagBoard::is_raised`] (Acquire) before the
+//!    first load.
+//! 3. Ranges handed out by one `Arena` never overlap while live.
+//!
+//! Graphs produced by the inspector are dependence-complete, which makes
+//! (1) hold for every schedule the runtime executes.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fixed slab of `f64` cells writable from remote threads.
+pub struct RmaHeap {
+    cells: Box<[UnsafeCell<f64>]>,
+}
+
+// SAFETY: all aliasing is controlled by the execution protocol documented
+// above; the type itself only hands out raw access through `unsafe` fns.
+unsafe impl Sync for RmaHeap {}
+unsafe impl Send for RmaHeap {}
+
+impl RmaHeap {
+    /// A heap of `capacity` units, zero-initialized.
+    pub fn new(capacity: u64) -> Self {
+        let cells = (0..capacity).map(|_| UnsafeCell::new(0.0)).collect();
+        RmaHeap { cells }
+    }
+
+    /// Capacity in units.
+    pub fn capacity(&self) -> u64 {
+        self.cells.len() as u64
+    }
+
+    /// One-sided put: copy `src` into `[off, off + src.len())`.
+    ///
+    /// # Safety
+    /// Caller must hold exclusive access to the range per the module
+    /// protocol (no concurrent reader or writer of any overlapping range).
+    pub unsafe fn put(&self, off: u64, src: &[f64]) {
+        debug_assert!(off + src.len() as u64 <= self.capacity());
+        let base = self.cells.as_ptr().add(off as usize);
+        // SAFETY: range is in bounds (debug-asserted; callers uphold it in
+        // release too) and exclusively owned per the protocol.
+        std::ptr::copy_nonoverlapping(src.as_ptr(), base as *mut f64, src.len());
+    }
+
+    /// Read `[off, off + dst.len())` into `dst`.
+    ///
+    /// # Safety
+    /// No thread may be writing any overlapping range; the caller must
+    /// have observed the writer's Release flag with Acquire first.
+    pub unsafe fn read(&self, off: u64, dst: &mut [f64]) {
+        debug_assert!(off + dst.len() as u64 <= self.capacity());
+        let base = self.cells.as_ptr().add(off as usize);
+        std::ptr::copy_nonoverlapping(base as *const f64, dst.as_mut_ptr(), dst.len());
+    }
+
+    /// Mutable view of a range for local computation.
+    ///
+    /// # Safety
+    /// Exclusive access to the range per the module protocol for the
+    /// lifetime of the returned slice.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, off: u64, len: u64) -> &mut [f64] {
+        debug_assert!(off + len <= self.capacity());
+        let base = self.cells.as_ptr().add(off as usize) as *mut f64;
+        std::slice::from_raw_parts_mut(base, len as usize)
+    }
+
+    /// Shared view of a range.
+    ///
+    /// # Safety
+    /// No concurrent writer of any overlapping range.
+    pub unsafe fn slice(&self, off: u64, len: u64) -> &[f64] {
+        debug_assert!(off + len <= self.capacity());
+        let base = self.cells.as_ptr().add(off as usize) as *const f64;
+        std::slice::from_raw_parts(base, len as usize)
+    }
+}
+
+/// Arrival flags: one counter per cross-processor dependence edge (or any
+/// other static token), raised by the sender after its put and polled by
+/// the receiver. A counter (not a bool) so that tests can detect double
+/// raises.
+pub struct FlagBoard {
+    flags: Box<[AtomicU32]>,
+}
+
+impl FlagBoard {
+    /// Board of `n` flags, all lowered.
+    pub fn new(n: usize) -> Self {
+        FlagBoard { flags: (0..n).map(|_| AtomicU32::new(0)).collect() }
+    }
+
+    /// Raise flag `i` (Release): publishes every store sequenced before it.
+    pub fn raise(&self, i: usize) {
+        self.flags[i].fetch_add(1, Ordering::Release);
+    }
+
+    /// Has flag `i` been raised (Acquire)? Synchronizes with the raiser.
+    pub fn is_raised(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::Acquire) > 0
+    }
+
+    /// Raw counter value (tests).
+    pub fn count(&self, i: usize) -> u32 {
+        self.flags[i].load(Ordering::Acquire)
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True when the board has no flags.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_then_read_roundtrip() {
+        let h = RmaHeap::new(16);
+        let src = [1.0, 2.0, 3.0];
+        unsafe {
+            h.put(4, &src);
+            let mut dst = [0.0; 3];
+            h.read(4, &mut dst);
+            assert_eq!(dst, src);
+            assert_eq!(h.slice(4, 3), &src);
+            h.slice_mut(4, 1)[0] = 9.0;
+            assert_eq!(h.slice(4, 1)[0], 9.0);
+        }
+    }
+
+    #[test]
+    fn flags_count_raises() {
+        let f = FlagBoard::new(3);
+        assert!(!f.is_raised(1));
+        f.raise(1);
+        assert!(f.is_raised(1));
+        assert!(!f.is_raised(0));
+        f.raise(1);
+        assert_eq!(f.count(1), 2);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn cross_thread_put_is_published_by_flag() {
+        // Classic message-passing litmus: the reader that observes the
+        // flag must observe the payload.
+        let heap = Arc::new(RmaHeap::new(1024));
+        let flags = Arc::new(FlagBoard::new(1));
+        let (h2, f2) = (Arc::clone(&heap), Arc::clone(&flags));
+        let writer = std::thread::spawn(move || {
+            let payload: Vec<f64> = (0..512).map(|i| i as f64 * 0.5).collect();
+            unsafe { h2.put(100, &payload) };
+            f2.raise(0);
+        });
+        while !flags.is_raised(0) {
+            std::hint::spin_loop();
+        }
+        let got = unsafe { heap.slice(100, 512) };
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, i as f64 * 0.5);
+        }
+        writer.join().unwrap();
+    }
+}

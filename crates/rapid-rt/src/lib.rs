@@ -1,0 +1,29 @@
+//! The RAPID runtime (paper §3): inspector API, active memory management
+//! and the five-state execution protocol, in two executors.
+//!
+//! - [`inspector`] — the run-time parallelization pipeline of Figure 1:
+//!   register irregular data objects and the tasks that access them, get a
+//!   transformed task graph, schedule it, execute it.
+//! - [`maps`] — the memory-allocation-point (MAP) planner shared by both
+//!   executors: dead-point tables, allocation windows, address packages.
+//! - [`des`] — the deterministic discrete-event executor that models
+//!   run-time behaviour (parallel time, #MAPs, blocking on address
+//!   buffers and message arrivals) under a per-processor memory cap; it
+//!   reproduces the paper's Tables 2–8.
+//! - [`threaded`] — the real shared-memory executor: one OS thread per
+//!   simulated processor, RMA stores into remote arenas, single-slot
+//!   address mailboxes, REC/EXE/SND/MAP/END state machine with RA and CQ
+//!   service routines. Exercises the Theorem-1 liveness argument under
+//!   real concurrency and computes actual numeric results.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod inspector;
+pub mod maps;
+pub mod threaded;
+
+pub use des::{DesConfig, DesExecutor, DesOutcome};
+pub use inspector::Inspector;
+pub use maps::{ExecError, RtPlan};
+pub use threaded::{run_sequential, TaskCtx, ThreadedExecutor, ThreadedOutcome};

@@ -1,0 +1,594 @@
+//! The shared protocol plan: everything both executors precompute from a
+//! schedule before running the active-memory-management protocol.
+//!
+//! - **Messages** — one per (task, destination processor) pair with at
+//!   least one cross-processor dependence edge; it carries the objects
+//!   written by the source task and read by the destination tasks (data
+//!   presending), or nothing (a pure synchronization message for
+//!   cross-processor control edges such as anti-dependence chains).
+//! - **Address watchers** — for every volatile object of every processor,
+//!   the set of processors that will RMA-put into its buffer and therefore
+//!   must be notified of its address when a MAP allocates it.
+//! - **Liveness** — first-use and dead-after tables per processor
+//!   (computed once, `O(Σ access sets)`, the paper's static data-flow
+//!   analysis).
+//!
+//! MAP planning itself ([`MapPlanner`]) is also shared: given the current
+//! allocation state it decides which volatiles to free, how far ahead the
+//! allocation window extends, and which address packages to emit.
+
+use rapid_core::graph::{ObjId, ProcId, TaskGraph, TaskId};
+use rapid_core::liveness::Liveness;
+use rapid_core::schedule::Schedule;
+use std::collections::HashMap;
+
+/// A run-time message: data present from one task's processor to one
+/// destination processor.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Dense message id (index into [`RtPlan::msgs`] and the flag board).
+    pub id: u32,
+    /// Producing task.
+    pub src_task: TaskId,
+    /// Processor of the producing task.
+    pub src_proc: ProcId,
+    /// Destination processor.
+    pub dst_proc: ProcId,
+    /// Objects carried: written by `src_task`, read by at least one of the
+    /// destination tasks. May be empty (pure synchronization).
+    pub objs: Vec<ObjId>,
+    /// Total size of `objs` in allocation units.
+    pub units: u64,
+    /// Destination tasks waiting on this message.
+    pub dst_tasks: Vec<TaskId>,
+}
+
+/// Precomputed protocol metadata for one schedule.
+#[derive(Debug)]
+pub struct RtPlan {
+    /// All run-time messages.
+    pub msgs: Vec<Message>,
+    /// `in_msgs[t]`: message ids task `t` must receive before running.
+    pub in_msgs: Vec<Vec<u32>>,
+    /// `out_msgs[t]`: message ids task `t` emits after running.
+    pub out_msgs: Vec<Vec<u32>>,
+    /// Liveness (volatile lifetimes) per processor.
+    pub lv: Liveness,
+    /// `watchers[(p, d)]`: processors that must learn the address of
+    /// volatile `d` on processor `p` (the procs that put into it).
+    pub watchers: HashMap<(ProcId, u32), Vec<ProcId>>,
+    /// Position of every task in its processor's order.
+    pub pos: Vec<u32>,
+    /// Per-processor total size of permanent objects.
+    pub perm_units: Vec<u64>,
+}
+
+impl RtPlan {
+    /// Build the plan for `sched` over `g`.
+    pub fn new(g: &TaskGraph, sched: &Schedule) -> RtPlan {
+        let n = g.num_tasks();
+        let assign = &sched.assign;
+        let lv = Liveness::analyze(g, sched);
+        let pos = sched.positions();
+
+        let mut msgs: Vec<Message> = Vec::new();
+        let mut in_msgs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut out_msgs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Coalesce each task's cross-proc out-edges by (destination
+        // processor, carried object set). Edges carrying *different* sets
+        // must stay separate messages: merging a pure-sync edge with a
+        // data edge would make an early destination task wait on a buffer
+        // it only allocates at a later MAP, breaking the Fact-I invariant
+        // of the Theorem 1 proof ("if a processor is waiting for receiving
+        // a data object, the local address must have already been
+        // notified").
+        let mut by_key: HashMap<(ProcId, Vec<u32>), Vec<TaskId>> = HashMap::new();
+        for t in g.tasks() {
+            by_key.clear();
+            let sp = assign.proc_of(t);
+            for &s in g.succs(t) {
+                let s = TaskId(s);
+                let dp = assign.proc_of(s);
+                if dp == sp {
+                    continue;
+                }
+                // Objects this edge carries: writes(t) ∩ reads(s), both
+                // sorted, so the intersection is sorted and canonical.
+                let ws = g.writes(t);
+                let rs = g.reads(s);
+                let mut objs: Vec<u32> = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < ws.len() && j < rs.len() {
+                    match ws[i].cmp(&rs[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            objs.push(ws[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                by_key.entry((dp, objs)).or_default().push(s);
+            }
+            // Deterministic message order: by (destination, object set).
+            let mut keys: Vec<(ProcId, Vec<u32>)> = by_key.keys().cloned().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let mut dst_tasks = by_key.remove(&key).expect("key present");
+                let (dp, objs) = key;
+                dst_tasks.sort_unstable();
+                dst_tasks.dedup();
+                let id = msgs.len() as u32;
+                let units = objs.iter().map(|&d| g.obj_size(ObjId(d))).sum();
+                for &dt in &dst_tasks {
+                    in_msgs[dt.idx()].push(id);
+                }
+                out_msgs[t.idx()].push(id);
+                msgs.push(Message {
+                    id,
+                    src_task: t,
+                    src_proc: sp,
+                    dst_proc: dp,
+                    objs: objs.into_iter().map(ObjId).collect(),
+                    units,
+                    dst_tasks,
+                });
+            }
+        }
+
+        // Address watchers: senders that put each volatile object.
+        let mut watchers: HashMap<(ProcId, u32), Vec<ProcId>> = HashMap::new();
+        for m in &msgs {
+            for &d in &m.objs {
+                if assign.owner_of(d) != m.dst_proc {
+                    let w = watchers.entry((m.dst_proc, d.0)).or_default();
+                    if !w.contains(&m.src_proc) {
+                        w.push(m.src_proc);
+                    }
+                }
+            }
+        }
+        for w in watchers.values_mut() {
+            w.sort_unstable();
+        }
+
+        let mut perm_units = vec![0u64; assign.nprocs];
+        for d in g.objects() {
+            perm_units[assign.owner_of(d) as usize] += g.obj_size(d);
+        }
+
+        RtPlan { msgs, in_msgs, out_msgs, lv, watchers, pos, perm_units }
+    }
+
+    /// Messages carrying data (non-empty object list).
+    pub fn data_msg_count(&self) -> usize {
+        self.msgs.iter().filter(|m| !m.objs.is_empty()).count()
+    }
+
+    /// Estimated storage for the dependence structure itself, in
+    /// allocation units (8-byte words): edges, access sets, message
+    /// tables and liveness tables. The paper's §6 observes this overhead
+    /// at 18–50 % of total memory on its test problems and calls
+    /// distributing it future work; this estimator lets the benches report
+    /// the same ratio for our workloads.
+    pub fn control_units(&self, g: &rapid_core::graph::TaskGraph) -> u64 {
+        // Two 4-byte ids per edge (succs + preds mirrors), one per access
+        // entry (reads + writes + the two transposes), three words per
+        // message record plus its object/destination lists, and the
+        // first-use/dead-after liveness tables.
+        let edge_words = 2 * g.num_edges() as u64;
+        let access_entries: u64 = g
+            .tasks()
+            .map(|t| 2 * (g.reads(t).len() + g.writes(t).len()) as u64)
+            .sum();
+        let msg_words: u64 = self
+            .msgs
+            .iter()
+            .map(|m| 3 + m.objs.len() as u64 + m.dst_tasks.len() as u64)
+            .sum();
+        let live_words: u64 = self
+            .lv
+            .procs
+            .iter()
+            .map(|pl| 2 * pl.volatile.len() as u64)
+            .sum();
+        // Two 4-byte entries per unit (one unit = 8 bytes).
+        (edge_words + access_entries + msg_words + live_words).div_ceil(2)
+    }
+}
+
+/// One address notification a MAP must emit: tell `dst` that `obj` now
+/// lives at `offset` on the allocating processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Notify {
+    /// Processor to notify.
+    pub dst: ProcId,
+    /// Object id.
+    pub obj: u32,
+    /// Buffer offset in the allocating processor's arena (executors using
+    /// counting allocation pass 0).
+    pub offset: u64,
+}
+
+/// Outcome of planning one MAP.
+#[derive(Clone, Debug)]
+pub struct MapAction {
+    /// Volatile objects to free (dead before the current position).
+    pub frees: Vec<ObjId>,
+    /// Volatile objects to allocate, in allocation order.
+    pub allocs: Vec<ObjId>,
+    /// Position (exclusive) up to which tasks are covered: the next MAP
+    /// goes right before this position.
+    pub next_map: u32,
+    /// Address notifications for the newly allocated objects (offsets to
+    /// be filled by the executor's allocator).
+    pub notifies: Vec<Notify>,
+}
+
+/// Errors shared by the executors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The schedule cannot run under the memory constraint: at some MAP,
+    /// even after freeing every dead volatile, the very next task's
+    /// objects do not fit (the paper's `∞` entries, Definition 6).
+    NonExecutable {
+        /// Processor that failed.
+        proc: ProcId,
+        /// Position of the task that could not be provisioned.
+        position: u32,
+        /// Units that would be needed in use simultaneously.
+        needed: u64,
+        /// The per-processor capacity.
+        capacity: u64,
+    },
+    /// The event loop stalled with unfinished tasks — a protocol bug
+    /// (Theorem 1 says this cannot happen); surfaced for debugging rather
+    /// than panicking.
+    Stalled {
+        /// Tasks that never ran.
+        remaining: usize,
+    },
+    /// The threaded executor's arena could not satisfy an allocation due
+    /// to fragmentation (enough free units but no contiguous block).
+    Fragmented {
+        /// Processor that failed.
+        proc: ProcId,
+        /// Requested units.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NonExecutable { proc, position, needed, capacity } => write!(
+                f,
+                "non-executable under memory constraint: P{proc} task #{position} needs {needed} units, capacity {capacity}"
+            ),
+            ExecError::Stalled { remaining } => {
+                write!(f, "execution stalled with {remaining} tasks remaining")
+            }
+            ExecError::Fragmented { proc, requested } => {
+                write!(f, "arena fragmentation on P{proc}: {requested} units unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How far ahead a MAP allocates (ablation knob; the paper's scheme is
+/// greedy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MapWindow {
+    /// Allocate for as many upcoming tasks as fit (paper §3.3: "the
+    /// allocation will stop after `T_k` if space for `T_{k+1}` cannot be
+    /// allocated").
+    #[default]
+    Greedy,
+    /// Allocate only the immediate next task's objects — a MAP before
+    /// every task. Minimizes resident volatile space between MAPs at the
+    /// cost of the maximum number of allocation points.
+    Single,
+}
+
+/// Per-processor MAP planner: owns the set of currently-allocated
+/// volatiles (by counting, not offsets) and computes each MAP's action.
+#[derive(Debug)]
+pub struct MapPlanner {
+    proc: ProcId,
+    capacity: u64,
+    /// Currently allocated volatile objects (sorted).
+    allocated: Vec<ObjId>,
+    /// Units in use by permanents + allocated volatiles.
+    in_use: u64,
+    /// High-water mark.
+    peak: u64,
+    /// Number of MAPs performed.
+    maps: u32,
+}
+
+impl MapPlanner {
+    /// Planner for processor `p` with the given capacity; permanents are
+    /// allocated immediately.
+    pub fn new(p: ProcId, capacity: u64, perm_units: u64) -> MapPlanner {
+        MapPlanner {
+            proc: p,
+            capacity,
+            allocated: Vec::new(),
+            in_use: perm_units,
+            peak: perm_units,
+            maps: 0,
+        }
+    }
+
+    /// Units currently in use.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of [`MapPlanner::in_use`].
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// MAPs performed so far.
+    pub fn maps(&self) -> u32 {
+        self.maps
+    }
+
+    /// Is volatile `d` currently allocated?
+    pub fn is_allocated(&self, d: ObjId) -> bool {
+        self.allocated.binary_search(&d).is_ok()
+    }
+
+    /// Plan and commit the MAP at position `pos` of this processor's
+    /// order. Frees volatiles dead before `pos`, then extends the
+    /// allocation window greedily; fails if the task at `pos` itself
+    /// cannot be provisioned (Definition 6).
+    pub fn run_map(
+        &mut self,
+        g: &TaskGraph,
+        sched: &Schedule,
+        plan: &RtPlan,
+        pos: u32,
+    ) -> Result<MapAction, ExecError> {
+        self.run_map_with(g, sched, plan, pos, MapWindow::Greedy)
+    }
+
+    /// [`MapPlanner::run_map`] with an explicit window policy.
+    pub fn run_map_with(
+        &mut self,
+        g: &TaskGraph,
+        sched: &Schedule,
+        plan: &RtPlan,
+        pos: u32,
+        window: MapWindow,
+    ) -> Result<MapAction, ExecError> {
+        self.maps += 1;
+        let p = self.proc as usize;
+        let pl = &plan.lv.procs[p];
+        let order = &sched.order[p];
+
+        // Free volatiles whose last use is strictly before `pos`.
+        let mut frees = Vec::new();
+        self.allocated.retain(|&d| {
+            let k = pl
+                .volatile
+                .binary_search(&d)
+                .expect("allocated object is volatile here");
+            let (_, last) = pl.volatile_span[k];
+            if last < pos {
+                frees.push(d);
+                false
+            } else {
+                true
+            }
+        });
+        for &d in &frees {
+            self.in_use -= g.obj_size(d);
+        }
+
+        // Extend the allocation window: walk tasks pos.. and allocate each
+        // task's missing volatiles; stop before the first task that does
+        // not fit (paper §3.3: "the allocation will stop after T_k if
+        // space for T_{k+1} cannot be allocated").
+        let mut allocs: Vec<ObjId> = Vec::new();
+        let mut next_map = pos;
+        'window: for j in pos as usize..order.len() {
+            // Volatiles first used at position j are exactly the ones this
+            // task introduces (anything used earlier is already allocated
+            // or was newly allocated in this window).
+            let mut new_here: Vec<ObjId> = Vec::new();
+            let mut add = 0u64;
+            for &d in &pl.first_use[j] {
+                if !self.is_allocated(d) {
+                    new_here.push(d);
+                    add += g.obj_size(d);
+                }
+            }
+            if self.in_use + add > self.capacity {
+                if j as u32 == pos {
+                    // The immediate next task does not fit: non-executable.
+                    self.maps -= 1;
+                    return Err(ExecError::NonExecutable {
+                        proc: self.proc,
+                        position: pos,
+                        needed: self.in_use + add,
+                        capacity: self.capacity,
+                    });
+                }
+                break 'window;
+            }
+            for d in new_here {
+                let k = self.allocated.partition_point(|&x| x < d);
+                self.allocated.insert(k, d);
+                allocs.push(d);
+            }
+            self.in_use += add;
+            self.peak = self.peak.max(self.in_use);
+            next_map = j as u32 + 1;
+            if window == MapWindow::Single {
+                break 'window;
+            }
+        }
+
+        // Address notifications for freshly allocated volatiles.
+        let mut notifies = Vec::new();
+        for &d in &allocs {
+            if let Some(ws) = plan.watchers.get(&(self.proc, d.0)) {
+                for &w in ws {
+                    notifies.push(Notify { dst: w, obj: d.0, offset: 0 });
+                }
+            }
+        }
+
+        Ok(MapAction { frees, allocs, next_map, notifies })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_core::fixtures;
+
+    #[test]
+    fn plan_messages_of_figure2() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        // Every volatile object on P1 (d1, d3, d5, d7) and P0 (d8) must be
+        // carried by some message.
+        for (p, want) in [(1u32, vec![0u32, 2, 4, 6]), (0u32, vec![7u32])] {
+            for d in want {
+                assert!(
+                    plan.msgs
+                        .iter()
+                        .any(|m| m.dst_proc == p && m.objs.contains(&ObjId(d))),
+                    "d{} must flow to P{p}",
+                    d + 1
+                );
+            }
+        }
+        // Address watchers: P1's four volatiles are all put by P0 and vice
+        // versa for d8.
+        for d in [0u32, 2, 4, 6] {
+            assert_eq!(plan.watchers[&(1, d)], vec![0]);
+        }
+        assert_eq!(plan.watchers[&(0, 7)], vec![1]);
+        // Messages from one task to one proc are coalesced: T[1] (writes
+        // d1, read by T[1,2] and T[1,4] on P1) sends exactly one message.
+        let t1 = fixtures::figure2_task(&g, "T[1]");
+        let from_t1: Vec<_> = plan.msgs.iter().filter(|m| m.src_task == t1).collect();
+        assert_eq!(from_t1.len(), 1);
+        assert_eq!(from_t1[0].dst_tasks.len(), 2);
+        assert_eq!(from_t1[0].units, 1);
+    }
+
+    #[test]
+    fn sync_only_messages_have_no_objects() {
+        // A cross-proc edge carrying no written-and-read object becomes a
+        // pure sync message.
+        use rapid_core::graph::TaskGraphBuilder;
+        use rapid_core::schedule::{Assignment, Schedule};
+        let mut b = TaskGraphBuilder::new();
+        let d0 = b.add_object(2);
+        let d1 = b.add_object(2);
+        let t0 = b.add_task(1.0, &[], &[d0]);
+        let t1 = b.add_task(1.0, &[], &[d1]);
+        b.add_edge(t0, t1); // ordering only: t1 does not read d0
+        let g = b.build().unwrap();
+        let assign = Assignment { task_proc: vec![0, 1], owner: vec![0, 1], nprocs: 2 };
+        let sched = Schedule { assign, order: vec![vec![t0], vec![t1]] };
+        let plan = RtPlan::new(&g, &sched);
+        assert_eq!(plan.msgs.len(), 1);
+        assert!(plan.msgs[0].objs.is_empty());
+        assert_eq!(plan.msgs[0].units, 0);
+        assert_eq!(plan.data_msg_count(), 0);
+        assert!(plan.watchers.is_empty());
+    }
+
+    #[test]
+    fn control_units_scale_with_structure() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        let ctrl = plan.control_units(&g);
+        // At least one word per edge, bounded by a small multiple of the
+        // total structure.
+        assert!(ctrl >= g.num_edges() as u64);
+        let upper = 4 * (g.num_edges()
+            + g.tasks().map(|t| g.reads(t).len() + g.writes(t).len()).sum::<usize>()
+            + plan.msgs.len() * 8) as u64;
+        assert!(ctrl <= upper, "{ctrl} > {upper}");
+        // A larger graph has a larger structure.
+        let big = fixtures::random_irregular_graph(
+            1,
+            &fixtures::RandomGraphSpec { tasks: 200, objects: 50, ..Default::default() },
+        );
+        let owner = rapid_sched::assign::cyclic_owner_map(big.num_objects(), 2);
+        let assign = rapid_sched::assign::owner_compute_assignment(&big, &owner, 2);
+        let bsched = rapid_sched::rcp::rcp_order(
+            &big,
+            &assign,
+            &rapid_core::schedule::CostModel::unit(),
+        );
+        let bplan = RtPlan::new(&big, &bsched);
+        assert!(bplan.control_units(&big) > ctrl);
+    }
+
+    #[test]
+    fn map_planner_window_and_frees() {
+        // P1 of figure2 schedule (c) with capacity 8: the planner must
+        // split the order into at least two windows and free d3/d5 at the
+        // second MAP, as in the paper's Figure 3(a) walkthrough.
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        let mut mp = MapPlanner::new(1, 8, plan.perm_units[1]);
+        let first = mp.run_map(&g, &sched, &plan, 0).unwrap();
+        assert!(first.frees.is_empty());
+        let k = first.next_map;
+        assert!(k < sched.order[1].len() as u32, "one MAP cannot cover all");
+        let second = mp.run_map(&g, &sched, &plan, k).unwrap();
+        assert!(!second.frees.is_empty(), "second MAP must recycle volatiles");
+        assert!(mp.peak() <= 8);
+        assert_eq!(mp.maps(), 2);
+    }
+
+    #[test]
+    fn map_planner_detects_non_executable() {
+        // Capacity 7 < MIN_MEM 8 of schedule (c): some MAP must fail.
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        let mut mp = MapPlanner::new(1, 7, plan.perm_units[1]);
+        let mut pos = 0u32;
+        let mut failed = false;
+        while (pos as usize) < sched.order[1].len() {
+            match mp.run_map(&g, &sched, &plan, pos) {
+                Ok(a) => pos = a.next_map,
+                Err(ExecError::NonExecutable { capacity: 7, .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(failed);
+    }
+
+    #[test]
+    fn map_planner_single_map_with_ample_memory() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        for p in 0..2u32 {
+            let mut mp = MapPlanner::new(p, 1000, plan.perm_units[p as usize]);
+            let a = mp.run_map(&g, &sched, &plan, 0).unwrap();
+            assert_eq!(a.next_map as usize, sched.order[p as usize].len());
+            assert_eq!(mp.maps(), 1);
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The threaded executor: real concurrency, real buffers.
+//!
+//! One OS thread per simulated processor. Each processor owns a
+//! fixed-capacity [`RmaHeap`]; permanent objects are laid out identically
+//! and deterministically on every processor's heap (so their addresses are
+//! globally known without notification, as in RAPID), while volatile
+//! buffers are allocated at MAPs from a real first-fit [`Arena`] and their
+//! offsets travel to the data producers through single-slot address
+//! mailboxes. Data moves with one-sided `put`s into the destination heap;
+//! per-message arrival flags give the release/acquire happens-before edge
+//! `SHMEM_PUT` + flag polling gave on the T3D.
+//!
+//! The thread body is the five-state machine of the paper's Figure 3(b);
+//! the RA (read address packages) and CQ (check suspended queue) service
+//! operations run in every blocking wait, which is what breaks the
+//! circular-wait chains in the Theorem 1 proof. Stress tests run many
+//! random graphs at exactly `MIN_MEM` capacity to exercise that argument
+//! under real interleavings.
+
+use crate::maps::{ExecError, MapPlanner, RtPlan};
+use rapid_core::graph::{ObjId, TaskGraph, TaskId};
+use rapid_core::schedule::Schedule;
+use rapid_machine::arena::{Arena, ArenaError};
+use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
+use rapid_machine::rma::{FlagBoard, RmaHeap};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The buffers a task may touch while running: shared views of the objects
+/// it reads, exclusive views of the objects it writes (an object both read
+/// and written appears once, in the write set).
+pub struct TaskCtx<'h> {
+    reads: Vec<(u32, &'h [f64])>,
+    writes: Vec<(u32, &'h mut [f64])>,
+}
+
+impl<'h> TaskCtx<'h> {
+    /// Buffer of a read object. Panics if the task does not read `d` (or
+    /// also writes it — use [`TaskCtx::write`]).
+    ///
+    /// The returned borrow is tied to the underlying heap (`'h`), not to
+    /// the context, so it can be held across a later [`TaskCtx::write`]
+    /// call — read and write buffers are always distinct objects.
+    pub fn read(&self, d: ObjId) -> &'h [f64] {
+        self.reads
+            .iter()
+            .find(|&&(o, _)| o == d.0)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| panic!("task does not read-only {d:?}"))
+    }
+
+    /// Mutable buffer of a written object (reads the previous content for
+    /// read-modify-write tasks). Panics if the task does not write `d`.
+    pub fn write(&mut self, d: ObjId) -> &mut [f64] {
+        self.writes
+            .iter_mut()
+            .find(|&&mut (o, _)| o == d.0)
+            .map(|(_, s)| &mut **s)
+            .unwrap_or_else(|| panic!("task does not write {d:?}"))
+    }
+
+    /// Ids of read-only objects, in access-set order.
+    pub fn read_ids(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.reads.iter().map(|&(o, _)| ObjId(o))
+    }
+
+    /// Ids of written objects, in access-set order.
+    pub fn write_ids(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.writes.iter().map(|&(o, _)| ObjId(o))
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedOutcome {
+    /// MAPs performed per processor.
+    pub maps: Vec<u32>,
+    /// Peak units in use per processor (counting accounting, matching the
+    /// DES executor and `MEM_REQ`).
+    pub peak_mem: Vec<u64>,
+    /// Real arena high-water mark per processor (includes fragmentation).
+    pub arena_peak: Vec<u64>,
+    /// Final contents of every object, gathered from the owners' heaps.
+    pub objects: Vec<Vec<f64>>,
+    /// Wall-clock duration of the parallel section.
+    pub wall: Duration,
+}
+
+/// The threaded executor.
+pub struct ThreadedExecutor<'a> {
+    g: &'a TaskGraph,
+    sched: &'a Schedule,
+    plan: RtPlan,
+    capacity: u64,
+    /// Watchdog: poison the run if a spin wait exceeds this duration.
+    pub watchdog: Duration,
+}
+
+impl<'a> ThreadedExecutor<'a> {
+    /// Prepare an executor. Requires an owner-compute schedule (every
+    /// writer of an object runs on its owner) so that final object values
+    /// live in the owners' permanent buffers.
+    pub fn new(g: &'a TaskGraph, sched: &'a Schedule, capacity: u64) -> Self {
+        assert!(
+            rapid_sched::assign::is_owner_compute(g, &sched.assign),
+            "threaded executor requires an owner-compute schedule"
+        );
+        let plan = RtPlan::new(g, sched);
+        ThreadedExecutor { g, sched, plan, capacity, watchdog: Duration::from_secs(30) }
+    }
+
+    /// Run the schedule, applying `body` to every task. Object buffers
+    /// start zeroed.
+    pub fn run<F>(&self, body: F) -> Result<ThreadedOutcome, ExecError>
+    where
+        F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
+    {
+        self.run_with_init(body, |_, _| {})
+    }
+
+    /// Run the schedule with owner-side data initialization: before the
+    /// protocol starts, each processor fills the permanent buffers of the
+    /// objects it owns with `init(obj, buf)` — the RAPID convention where
+    /// irregular data is resident before the executor stage (it is *not*
+    /// part of the task graph, so it does not constrain DTS slicing).
+    ///
+    /// Note: `init` affects only the owners' permanent copies. An object
+    /// that is read remotely before ever being written would see zeros on
+    /// the reading processor; dependence-complete graphs produced by the
+    /// builders in this workspace always write an object before any
+    /// remote read.
+    pub fn run_with_init<F, I>(&self, body: F, init: I) -> Result<ThreadedOutcome, ExecError>
+    where
+        F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
+        I: Fn(ObjId, &mut [f64]) + Sync,
+    {
+        let nprocs = self.sched.assign.nprocs;
+        let g = self.g;
+        let plan = &self.plan;
+        let sched = self.sched;
+
+        // Deterministic permanent layout: objects in id order, bump
+        // allocated from 0 on the owner's heap.
+        let mut perm_off = vec![0u64; g.num_objects()];
+        {
+            let mut cursor = vec![0u64; nprocs];
+            for d in g.objects() {
+                let o = sched.assign.owner_of(d) as usize;
+                perm_off[d.idx()] = cursor[o];
+                cursor[o] += g.obj_size(d);
+                if cursor[o] > self.capacity {
+                    return Err(ExecError::NonExecutable {
+                        proc: o as u32,
+                        position: 0,
+                        needed: cursor[o],
+                        capacity: self.capacity,
+                    });
+                }
+            }
+        }
+        let perm_off = &perm_off;
+
+        let heaps: Vec<RmaHeap> =
+            (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
+        let heaps = &heaps;
+        let flags = FlagBoard::new(plan.msgs.len());
+        let flags = &flags;
+        let mailboxes = MailboxBoard::new(nprocs);
+        let mailboxes = &mailboxes;
+        let poison = AtomicBool::new(false);
+        let poison = &poison;
+        let error: Mutex<Option<ExecError>> = Mutex::new(None);
+        let error = &error;
+        let body = &body;
+        let init = &init;
+        let watchdog = self.watchdog;
+
+        let fail = move |e: ExecError| {
+            let mut slot = error.lock().expect("error mutex poisoned");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            poison.store(true, AtOrd::Release);
+        };
+
+        let started = Instant::now();
+        let per_proc: Vec<(u32, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nprocs)
+                .map(|p| {
+                    scope.spawn(move || {
+                        worker(
+                            p, g, sched, plan, self.capacity, perm_off, heaps, flags,
+                            mailboxes, poison, &fail, body, init, watchdog,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let wall = started.elapsed();
+
+        if poison.load(AtOrd::Acquire) {
+            return Err(error
+                .lock()
+                .expect("error mutex poisoned")
+                .take()
+                .unwrap_or(ExecError::Stalled { remaining: 0 }));
+        }
+
+        // Gather final object contents from the owners' permanent buffers.
+        // SAFETY: all worker threads have joined; no concurrent access.
+        let objects = g
+            .objects()
+            .map(|d| {
+                let o = sched.assign.owner_of(d) as usize;
+                unsafe { heaps[o].slice(perm_off[d.idx()], g.obj_size(d)) }.to_vec()
+            })
+            .collect();
+
+        Ok(ThreadedOutcome {
+            maps: per_proc.iter().map(|&(m, _, _)| m).collect(),
+            peak_mem: per_proc.iter().map(|&(_, pk, _)| pk).collect(),
+            arena_peak: per_proc.iter().map(|&(_, _, ap)| ap).collect(),
+            objects,
+            wall,
+        })
+    }
+}
+
+/// Execute the schedule sequentially (one buffer per object) — the
+/// reference the threaded executor is validated against.
+pub fn run_sequential<F>(g: &TaskGraph, body: F) -> Vec<Vec<f64>>
+where
+    F: Fn(TaskId, &mut TaskCtx<'_>),
+{
+    run_sequential_with_init(g, body, |_, _| {})
+}
+
+/// [`run_sequential`] with data initialization (mirrors
+/// [`ThreadedExecutor::run_with_init`]).
+pub fn run_sequential_with_init<F, I>(g: &TaskGraph, body: F, init: I) -> Vec<Vec<f64>>
+where
+    F: Fn(TaskId, &mut TaskCtx<'_>),
+    I: Fn(ObjId, &mut [f64]),
+{
+    let order = rapid_core::algo::topo_sort(g).expect("graph is a DAG");
+    let mut bufs: Vec<Vec<f64>> =
+        g.objects().map(|d| vec![0.0; g.obj_size(d) as usize]).collect();
+    for (i, buf) in bufs.iter_mut().enumerate() {
+        init(ObjId(i as u32), buf);
+    }
+    for t in order {
+        // Split-borrow the buffers: writes mutably, reads shared.
+        let writes_ids = g.writes(t);
+        let mut writes: Vec<(u32, &mut [f64])> = Vec::with_capacity(writes_ids.len());
+        let mut reads: Vec<(u32, &[f64])> = Vec::new();
+        // SAFETY: object ids are distinct within each set and across the
+        // two sets (reads that are also written are dropped below), and
+        // `bufs` outlives the ctx; we hand out one &mut per distinct id.
+        let base = bufs.as_mut_ptr();
+        for &d in writes_ids {
+            let slice = unsafe { &mut *base.add(d as usize) };
+            writes.push((d, slice.as_mut_slice()));
+        }
+        for &d in g.reads(t) {
+            if writes_ids.binary_search(&d).is_err() {
+                let slice = unsafe { &*base.add(d as usize) };
+                reads.push((d, slice.as_slice()));
+            }
+        }
+        let mut ctx = TaskCtx { reads, writes };
+        body(t, &mut ctx);
+    }
+    bufs
+}
+
+/// Per-thread worker: returns `(maps, peak_units, arena_peak)`.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn worker<F, I>(
+    p: usize,
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    capacity: u64,
+    perm_off: &[u64],
+    heaps: &[RmaHeap],
+    flags: &FlagBoard,
+    mailboxes: &MailboxBoard,
+    poison: &AtomicBool,
+    fail: &(impl Fn(ExecError) + Sync),
+    body: &F,
+    init: &I,
+    watchdog: Duration,
+) -> (u32, u64, u64)
+where
+    F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
+    I: Fn(ObjId, &mut [f64]) + Sync,
+{
+    let mut arena = Arena::new(capacity);
+    // Reproduce the deterministic permanent layout and load resident data.
+    for d in g.objects() {
+        if sched.assign.owner_of(d) as usize == p {
+            match arena.alloc(g.obj_size(d)) {
+                Ok(off) => {
+                    debug_assert_eq!(off, perm_off[d.idx()]);
+                    // SAFETY: setup phase — no other thread touches our
+                    // permanent buffers before the protocol starts (the
+                    // first remote put needs an address package or a
+                    // write by our own tasks).
+                    init(d, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) });
+                }
+                Err(_) => {
+                    fail(ExecError::NonExecutable {
+                        proc: p as u32,
+                        position: 0,
+                        needed: plan.perm_units[p],
+                        capacity,
+                    });
+                    return (0, 0, arena.peak());
+                }
+            }
+        }
+    }
+
+    let mut planner = MapPlanner::new(p as u32, capacity, plan.perm_units[p]);
+    // Offsets of this processor's live volatile buffers.
+    let mut local_addr: HashMap<u32, u64> = HashMap::new();
+    // Remote volatile addresses learned via RA: (target proc, obj) -> off.
+    let mut known: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut suspended: Vec<u32> = Vec::new();
+
+    // Resolve the local buffer of object `d` on this processor.
+    let resolve = |d: ObjId, local_addr: &HashMap<u32, u64>| -> u64 {
+        if sched.assign.owner_of(d) as usize == p {
+            perm_off[d.idx()]
+        } else {
+            *local_addr
+                .get(&d.0)
+                .unwrap_or_else(|| panic!("volatile {d:?} not allocated on P{p}"))
+        }
+    };
+
+    // RA: drain address packages destined to us.
+    let ra = |known: &mut HashMap<(u32, u32), u64>| {
+        mailboxes.drain_for(p, |src, pkg| {
+            for e in pkg {
+                known.insert((src as u32, e.obj), e.offset);
+            }
+        });
+    };
+
+    // Try to send message `mid`; true on success.
+    let try_send = |mid: u32,
+                    known: &HashMap<(u32, u32), u64>,
+                    local_addr: &HashMap<u32, u64>|
+     -> bool {
+        let msg = &plan.msgs[mid as usize];
+        let dst = msg.dst_proc;
+        // All remote buffer addresses must be known.
+        for &d in &msg.objs {
+            if sched.assign.owner_of(d) != dst && !known.contains_key(&(dst, d.0)) {
+                return false;
+            }
+        }
+        for &d in &msg.objs {
+            let len = g.obj_size(d);
+            let remote = if sched.assign.owner_of(d) == dst {
+                perm_off[d.idx()]
+            } else {
+                known[&(dst, d.0)]
+            };
+            let local = resolve(d, local_addr);
+            // SAFETY (module protocol): we produced this object (our task
+            // wrote it and no later writer has run — dependence
+            // completeness), and the destination buffer is exclusively
+            // ours to fill until we raise the flag.
+            unsafe {
+                let src = heaps[p].slice(local, len);
+                heaps[dst as usize].put(remote, src);
+            }
+        }
+        flags.raise(mid as usize);
+        true
+    };
+
+    // CQ: retry the suspended queue.
+    let cq = |suspended: &mut Vec<u32>,
+              known: &HashMap<(u32, u32), u64>,
+              local_addr: &HashMap<u32, u64>| {
+        suspended.retain(|&mid| !try_send(mid, known, local_addr));
+    };
+
+    let order = &sched.order[p];
+    let mut pos: u32 = 0;
+    let mut next_map: u32 = 0;
+    let deadline = Instant::now() + watchdog;
+
+    macro_rules! spin_service {
+        () => {
+            ra(&mut known);
+            cq(&mut suspended, &known, &local_addr);
+            if poison.load(AtOrd::Acquire) {
+                return (planner.maps(), planner.peak(), arena.peak());
+            }
+            if Instant::now() > deadline {
+                fail(ExecError::Stalled { remaining: order.len() - pos as usize });
+                return (planner.maps(), planner.peak(), arena.peak());
+            }
+            std::thread::yield_now();
+        };
+    }
+
+    while (pos as usize) < order.len() {
+        // MAP state.
+        if pos == next_map {
+            let mut action = match planner.run_map(g, sched, plan, pos) {
+                Ok(a) => a,
+                Err(e) => {
+                    fail(e);
+                    return (planner.maps(), planner.peak(), arena.peak());
+                }
+            };
+            for d in &action.frees {
+                let off = local_addr.remove(&d.0).expect("freed volatile was live");
+                arena.free(off).expect("live volatile frees cleanly");
+            }
+            for d in &action.allocs {
+                match arena.alloc(g.obj_size(*d)) {
+                    Ok(off) => {
+                        local_addr.insert(d.0, off);
+                    }
+                    Err(ArenaError::Fragmented { requested, .. }) => {
+                        fail(ExecError::Fragmented { proc: p as u32, requested });
+                        return (planner.maps(), planner.peak(), arena.peak());
+                    }
+                    Err(_) => {
+                        fail(ExecError::NonExecutable {
+                            proc: p as u32,
+                            position: pos,
+                            needed: planner.in_use(),
+                            capacity,
+                        });
+                        return (planner.maps(), planner.peak(), arena.peak());
+                    }
+                }
+            }
+            next_map = action.next_map;
+            // Fill in offsets and assemble per-destination packages.
+            for n in &mut action.notifies {
+                n.offset = local_addr[&n.obj];
+            }
+            let mut by_dst: HashMap<u32, Vec<AddrEntry>> = HashMap::new();
+            for n in &action.notifies {
+                by_dst
+                    .entry(n.dst)
+                    .or_default()
+                    .push(AddrEntry { obj: n.obj, offset: n.offset });
+            }
+            let mut dsts: Vec<u32> = by_dst.keys().copied().collect();
+            dsts.sort_unstable();
+            for dst in dsts {
+                let mut pkg = by_dst.remove(&dst).expect("key present");
+                loop {
+                    match mailboxes.slot(p, dst as usize).try_send(pkg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            pkg = back;
+                            // Blocked in MAP: keep servicing RA/CQ so the
+                            // system keeps evolving (Theorem 1).
+                            spin_service!();
+                        }
+                    }
+                }
+            }
+        }
+
+        let t = order[pos as usize];
+        // REC state: wait for every incoming message.
+        for &mid in &plan.in_msgs[t.idx()] {
+            while !flags.is_raised(mid as usize) {
+                spin_service!();
+            }
+        }
+
+        // EXE state.
+        {
+            let writes_ids = g.writes(t);
+            let mut writes: Vec<(u32, &mut [f64])> = Vec::with_capacity(writes_ids.len());
+            let mut reads: Vec<(u32, &[f64])> = Vec::new();
+            for &d in writes_ids {
+                let d = ObjId(d);
+                let off = resolve(d, &local_addr);
+                // SAFETY (module protocol): this task is the unique writer
+                // of `d` at this point of the dependence-complete
+                // schedule; readers have either consumed earlier versions
+                // or are ordered after us.
+                writes.push((d.0, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) }));
+            }
+            for &d in g.reads(t) {
+                if writes_ids.binary_search(&d).is_ok() {
+                    continue;
+                }
+                let d = ObjId(d);
+                let off = resolve(d, &local_addr);
+                // SAFETY: arrival flags have been observed with Acquire;
+                // no writer may touch this buffer until tasks ordered
+                // after us run.
+                reads.push((d.0, unsafe { heaps[p].slice(off, g.obj_size(d)) }));
+            }
+            let mut ctx = TaskCtx { reads, writes };
+            body(t, &mut ctx);
+        }
+
+        // SND state.
+        for &mid in &plan.out_msgs[t.idx()] {
+            if !try_send(mid, &known, &local_addr) {
+                suspended.push(mid);
+            }
+        }
+        ra(&mut known);
+        cq(&mut suspended, &known, &local_addr);
+        pos += 1;
+    }
+
+    // END state: drain the suspended queue.
+    while !suspended.is_empty() {
+        spin_service!();
+    }
+    (planner.maps(), planner.peak(), arena.peak())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_core::fixtures;
+    use rapid_core::memreq::min_mem;
+    use rapid_core::schedule::CostModel;
+
+    /// A deterministic task body: every written buffer cell becomes
+    /// `task_id + 1 + Σ(read buffers) + previous content`.
+    fn test_body(t: TaskId, ctx: &mut TaskCtx<'_>) {
+        let acc: f64 = ctx
+            .reads
+            .iter()
+            .flat_map(|(_, s)| s.iter())
+            .sum();
+        for (_, w) in ctx.writes.iter_mut() {
+            for x in w.iter_mut() {
+                *x += t.0 as f64 + 1.0 + acc;
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_threaded_matches_sequential() {
+        let g = fixtures::figure2_dag();
+        for sched in [fixtures::figure2_schedule_b(), fixtures::figure2_schedule_c()] {
+            let exec = ThreadedExecutor::new(&g, &sched, 64);
+            let out = exec.run(test_body).unwrap();
+            let reference = run_sequential(&g, test_body);
+            assert_eq!(out.objects, reference);
+            assert_eq!(out.maps, vec![1, 1]);
+        }
+    }
+
+    #[test]
+    fn figure2_threaded_at_exact_min_mem() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let mm = min_mem(&g, &sched).min_mem;
+        let exec = ThreadedExecutor::new(&g, &sched, mm);
+        let out = exec.run(test_body).unwrap();
+        assert_eq!(out.objects, run_sequential(&g, test_body));
+        assert!(out.peak_mem.iter().all(|&pk| pk <= mm));
+        assert!(out.maps.iter().any(|&m| m > 1), "tight memory forces extra MAPs");
+    }
+
+    #[test]
+    fn below_min_mem_fails_cleanly() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let mm = min_mem(&g, &sched).min_mem;
+        let exec = ThreadedExecutor::new(&g, &sched, mm - 1);
+        match exec.run(test_body) {
+            Err(ExecError::NonExecutable { .. }) => {}
+            other => panic!("expected NonExecutable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_graph_stress_at_min_mem() {
+        // The deadlock-freedom (Theorem 1) stress: random irregular graphs
+        // on 4 threads at exactly MIN_MEM, MPO order.
+        for seed in 0..8u64 {
+            let g = fixtures::random_irregular_graph(
+                seed,
+                &fixtures::RandomGraphSpec::default(),
+            );
+            let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
+            let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
+            let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
+            let mm = min_mem(&g, &sched).min_mem;
+            let exec = ThreadedExecutor::new(&g, &sched, mm);
+            match exec.run(test_body) {
+                Ok(out) => {
+                    assert_eq!(
+                        out.objects,
+                        run_sequential(&g, test_body),
+                        "seed {seed}: results differ"
+                    );
+                }
+                // A first-fit arena may fragment at exactly MIN_MEM with
+                // mixed object sizes; that is a resource failure, not a
+                // protocol failure.
+                Err(ExecError::Fragmented { .. }) => {}
+                Err(e) => panic!("seed {seed}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_reference_accumulates_updates() {
+        // w(d)=1; two chained updates add 2 and 3 => 6 per cell... the
+        // body adds t+1 each time: t0 writes 1, t1 adds 2, t2 adds 3.
+        let mut b = rapid_core::graph::TaskGraphBuilder::new();
+        let d = b.add_object(3);
+        let t0 = b.add_task(1.0, &[], &[d]);
+        let t1 = b.add_task(1.0, &[], &[d]);
+        let t2 = b.add_task(1.0, &[], &[d]);
+        b.add_edge(t0, t1);
+        b.add_edge(t1, t2);
+        let g = b.build().unwrap();
+        let out = run_sequential(&g, test_body);
+        assert_eq!(out[0], vec![6.0, 6.0, 6.0]);
+        let _ = (t0, t1, t2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Space- and time-efficient scheduling (paper §4).
+//!
+//! The paper's two-stage mapping process:
+//!
+//! 1. **Clustering** — tasks are clustered to exploit data locality using
+//!    DSC ([`dsc`]) or the owner-compute rule ([`assign`]); clusters are
+//!    then mapped to physical processors with a load-balancing criterion.
+//! 2. **Ordering** — tasks on each processor are ordered to overlap
+//!    communication with computation. Three orderings are provided:
+//!
+//!    - [`rcp`] — the time-efficient baseline: ready tasks execute in
+//!      order of critical-path importance (Yang & Gerasoulis, ref. [20]);
+//!    - [`mpo`] — memory-priority guided ordering (paper §4.1, Figure 4):
+//!      prefer the ready task with the largest fraction of its objects
+//!      already allocated, tie-broken by critical path;
+//!    - [`dts`] — data-access directed time-slicing (paper §4.2): execute
+//!      tasks slice-by-slice following a topological order of the data
+//!      connection graph's strongly connected components, plus the
+//!      slice-merging refinement of Figure 6.
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod dsc;
+pub mod dts;
+pub mod mpo;
+pub mod rcp;
+pub mod sim;
+
+pub use assign::{cyclic_owner_map, lpt_cluster_map, owner_compute_assignment};
+pub use dsc::{dsc_cluster, DscResult};
+pub use dts::{dts_order, dts_order_merged, merge_slices};
+pub use mpo::mpo_order;
+pub use rapid_core::schedule::Assignment;
+pub use rcp::rcp_order;

@@ -1,0 +1,213 @@
+//! Matrix Market I/O.
+//!
+//! The paper's test matrices (BCSSTK15/24/33, GOODWIN) are distributed
+//! today in Matrix Market exchange format; this module reads and writes
+//! the `coordinate real general|symmetric` subset so the bench harness
+//! can run on the genuine matrices when the files are available (the
+//! generators in [`crate::gen`] stand in otherwise — see DESIGN.md).
+
+use crate::csc::SparseMatrix;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Parse error with a line number.
+#[derive(Debug)]
+pub struct MmError {
+    /// 1-based line (0 = header/IO).
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix market error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for MmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> MmError {
+    MmError { line, msg: msg.into() }
+}
+
+/// Read a Matrix Market `coordinate real` matrix from a reader.
+/// `symmetric` headers are expanded to full storage.
+pub fn read_matrix_market<R: BufRead>(r: R) -> Result<SparseMatrix, MmError> {
+    let mut lines = r.lines().enumerate();
+    // Header.
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty input"))?;
+    let header = header.map_err(|e| err(ln + 1, e.to_string()))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(err(ln + 1, "missing %%MatrixMarket header"));
+    }
+    let fields: Vec<&str> = h.split_whitespace().collect();
+    if fields.len() < 5 || fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(err(ln + 1, "only 'matrix coordinate' is supported"));
+    }
+    let pattern = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(err(ln + 1, format!("unsupported field type {other}"))),
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(err(ln + 1, format!("unsupported symmetry {other}"))),
+    };
+
+    // Size line (skipping comments).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+    for (ln, line) in lines {
+        let line = line.map_err(|e| err(ln + 1, e.to_string()))?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('%') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        match size {
+            None => {
+                let m: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad size line"))?;
+                let n: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad size line"))?;
+                let nnz: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad size line"))?;
+                triplets.reserve(if symmetric { 2 * nnz } else { nnz });
+                size = Some((m, n, nnz));
+            }
+            Some((m, n, _)) => {
+                let i: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad entry row"))?;
+                let j: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad entry column"))?;
+                if i == 0 || j == 0 || i > m || j > n {
+                    return Err(err(ln + 1, format!("entry ({i},{j}) out of range")));
+                }
+                let v: f64 = if pattern {
+                    1.0
+                } else {
+                    it.next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| err(ln + 1, "bad entry value"))?
+                };
+                let (r, c) = ((i - 1) as u32, (j - 1) as u32);
+                triplets.push((r, c, v));
+                if symmetric && r != c {
+                    triplets.push((c, r, v));
+                }
+            }
+        }
+    }
+    let (m, n, _) = size.ok_or_else(|| err(0, "missing size line"))?;
+    Ok(SparseMatrix::from_triplets(m, n, &triplets))
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: &Path) -> Result<SparseMatrix, MmError> {
+    let f = std::fs::File::open(path).map_err(|e| err(0, e.to_string()))?;
+    read_matrix_market(std::io::BufReader::new(f))
+}
+
+/// Write a matrix in `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &SparseMatrix) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", a.nrows, a.ncols, a.nnz())?;
+    for c in 0..a.ncols {
+        for (x, &r) in a.col_rows(c).iter().enumerate() {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, a.col_values(c)[x])?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+3 1 -1.5
+2 2 4.0
+1 3 0.25
+";
+
+    #[test]
+    fn parse_general() {
+        let a = read_matrix_market(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(a.nrows, 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(2, 0), -1.5);
+        assert_eq!(a.get(0, 2), 0.25);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let s = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 3.0
+2 1 -1.0
+";
+        let a = read_matrix_market(Cursor::new(s)).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.pattern_symmetric());
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let s = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+";
+        let a = read_matrix_market(Cursor::new(s)).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = crate::gen::goodwin_like(30, 3, 1, 4);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
+        let e = read_matrix_market(Cursor::new(bad)).unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = read_matrix_market(Cursor::new("nope")).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = read_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+        ))
+        .unwrap_err();
+        assert!(e.msg.contains("complex"));
+    }
+}

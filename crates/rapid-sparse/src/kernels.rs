@@ -1,0 +1,332 @@
+//! Dense block kernels — the BLAS-3 substitutes the factorizations run on
+//! column-major blocks.
+//!
+//! All kernels operate on column-major storage: entry `(i, j)` of an
+//! `m × n` block lives at `j * m + i`. They are written as straight loops
+//! (the Cray-T3D's DGEMM substitute); correctness, not peak flops, is the
+//! goal — the cost *model* used by the discrete-event executor is
+//! calibrated separately.
+
+/// In-place Cholesky factorization of the lower triangle of a dense
+/// `n × n` SPD block: `A = L·Lᵀ`, `L` replaces the lower triangle (the
+/// strictly upper part is left untouched). Returns `Err(k)` if the
+/// `k`-th pivot is not positive.
+pub fn potrf(a: &mut [f64], n: usize) -> Result<(), usize> {
+    debug_assert!(a.len() >= n * n);
+    for k in 0..n {
+        let mut d = a[k * n + k];
+        for p in 0..k {
+            let l = a[p * n + k];
+            d -= l * l;
+        }
+        if d <= 0.0 {
+            return Err(k);
+        }
+        let d = d.sqrt();
+        a[k * n + k] = d;
+        for i in k + 1..n {
+            let mut v = a[k * n + i];
+            for p in 0..k {
+                v -= a[p * n + i] * a[p * n + k];
+            }
+            a[k * n + i] = v / d;
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve `B := B · L⁻ᵀ` where `L` is the lower triangle of the
+/// `n × n` block `l` and `B` is `m × n` (the Cholesky panel scaling).
+pub fn trsm_rlt(b: &mut [f64], m: usize, l: &[f64], n: usize) {
+    debug_assert!(b.len() >= m * n && l.len() >= n * n);
+    for j in 0..n {
+        let d = l[j * n + j];
+        for i in 0..m {
+            let mut v = b[j * m + i];
+            for p in 0..j {
+                v -= b[p * m + i] * l[p * n + j];
+            }
+            b[j * m + i] = v / d;
+        }
+    }
+}
+
+/// `C := C - A · Bᵀ` with `A` `m × k` and `B` `n × k`, `C` `m × n` (the
+/// Cholesky trailing update; `A = B` gives the SYRK case).
+pub fn gemm_nt_sub(c: &mut [f64], m: usize, n: usize, a: &[f64], b: &[f64], k: usize) {
+    debug_assert!(c.len() >= m * n && a.len() >= m * k && b.len() >= n * k);
+    for j in 0..n {
+        for p in 0..k {
+            let bv = b[p * n + j];
+            if bv == 0.0 {
+                continue;
+            }
+            let col = &mut c[j * m..j * m + m];
+            let acol = &a[p * m..p * m + m];
+            for i in 0..m {
+                col[i] -= acol[i] * bv;
+            }
+        }
+    }
+}
+
+/// In-place LU factorization with partial pivoting of an `m × n` panel
+/// (`m ≥ n`): `P·A = L·U` with unit lower-triangular `L` below the
+/// diagonal and `U` on/above it. `piv[j]` records the row swapped into
+/// position `j`. Returns `Err(j)` on a zero pivot column.
+pub fn getrf(a: &mut [f64], m: usize, n: usize, piv: &mut [u32]) -> Result<(), usize> {
+    debug_assert!(a.len() >= m * n && piv.len() >= n && m >= n);
+    for j in 0..n {
+        // Pivot search in column j, rows j..m.
+        let (mut best, mut bestv) = (j, a[j * m + j].abs());
+        for i in j + 1..m {
+            let v = a[j * m + i].abs();
+            if v > bestv {
+                best = i;
+                bestv = v;
+            }
+        }
+        if bestv == 0.0 {
+            return Err(j);
+        }
+        piv[j] = best as u32;
+        if best != j {
+            for c in 0..n {
+                a.swap(c * m + j, c * m + best);
+            }
+        }
+        let d = a[j * m + j];
+        for i in j + 1..m {
+            a[j * m + i] /= d;
+        }
+        for c in j + 1..n {
+            let u = a[c * m + j];
+            if u == 0.0 {
+                continue;
+            }
+            for i in j + 1..m {
+                a[c * m + i] -= a[j * m + i] * u;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Apply recorded panel pivots (from [`getrf`]) to an `m × n` block:
+/// row `j` swaps with row `piv[j]`, in order.
+pub fn laswp(b: &mut [f64], m: usize, n: usize, piv: &[u32]) {
+    for (j, &p) in piv.iter().enumerate() {
+        let p = p as usize;
+        if p != j {
+            for c in 0..n {
+                b.swap(c * m + j, c * m + p);
+            }
+        }
+    }
+}
+
+/// Triangular solve `B := L⁻¹ · B` where `L` is the unit lower triangle of
+/// the first `k` rows of an `m × k` panel and `B` is `k × n` stored as the
+/// top of an `m × n` block (the LU "compute U block" step).
+pub fn trsm_llu(b: &mut [f64], m: usize, n: usize, l: &[f64], lm: usize, k: usize) {
+    debug_assert!(b.len() >= m * n && l.len() >= lm * k);
+    for c in 0..n {
+        for j in 0..k {
+            let v = b[c * m + j];
+            if v == 0.0 {
+                continue;
+            }
+            for i in j + 1..k {
+                b[c * m + i] -= l[j * lm + i] * v;
+            }
+        }
+    }
+}
+
+/// `C := C - A · B` with `A` `m × k` (stored in an `am`-row panel), `B`
+/// `k × n` (stored at the top of a `bm`-row block), `C` `m × n` (stored in
+/// rows `row0..row0+m` of a `cm`-row block) — the LU trailing update.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_sub(
+    c: &mut [f64],
+    cm: usize,
+    row0: usize,
+    m: usize,
+    n: usize,
+    a: &[f64],
+    am: usize,
+    arow0: usize,
+    b: &[f64],
+    bm: usize,
+    k: usize,
+) {
+    for j in 0..n {
+        for p in 0..k {
+            let bv = b[j * bm + p];
+            if bv == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                c[j * cm + row0 + i] -= a[p * am + arow0 + i] * bv;
+            }
+        }
+    }
+}
+
+/// Dense matrix-vector `y += A x` for a column-major `m × n` block.
+pub fn gemv_add(y: &mut [f64], a: &[f64], m: usize, n: usize, x: &[f64]) {
+    for j in 0..n {
+        let xj = x[j];
+        for i in 0..m {
+            y[i] += a[j * m + i] * xj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(a: &[f64], m: usize, k: usize, b: &[f64], n: usize) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for j in 0..n {
+            for p in 0..k {
+                for i in 0..m {
+                    c[j * m + i] += a[p * m + i] * b[j * k + p];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(a: &[f64], m: usize, n: usize) -> Vec<f64> {
+        let mut t = vec![0.0; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                t[i * n + j] = a[j * m + i];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn potrf_recovers_factor() {
+        // A = L0 L0ᵀ for a known L0.
+        let n = 4;
+        let l0 = [
+            2.0, 1.0, 0.5, 0.25, // col 0
+            0.0, 3.0, 1.0, 0.5, // col 1
+            0.0, 0.0, 1.5, 0.75, // col 2
+            0.0, 0.0, 0.0, 1.0, // col 3
+        ];
+        let a0 = matmul(&l0, n, n, &transpose(&l0, n, n), n);
+        let mut a = a0.clone();
+        potrf(&mut a, n).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                assert!((a[j * n + i] - l0[j * n + i]).abs() < 1e-12, "L({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert_eq!(potrf(&mut a, 2), Err(1));
+    }
+
+    #[test]
+    fn trsm_rlt_solves() {
+        let n = 3;
+        let l = [2.0, 1.0, 0.5, 0.0, 3.0, 1.0, 0.0, 0.0, 1.5];
+        let m = 2;
+        let x0 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // m x n
+        // B = X0 · Lᵀ, solving should return X0.
+        let b0 = matmul(&x0, m, n, &transpose(&l, n, n), n);
+        let mut b = b0;
+        trsm_rlt(&mut b, m, &l, n);
+        for (got, want) in b.iter().zip(x0.iter()) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference() {
+        let (m, n, k) = (3, 2, 4);
+        let a: Vec<f64> = (0..m * k).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..n * k).map(|i| (i as f64).sin()).collect();
+        let mut c = vec![1.0; m * n];
+        gemm_nt_sub(&mut c, m, n, &a, &b, k);
+        let reference = matmul(&a, m, k, &transpose(&b, n, k), n);
+        for j in 0..n {
+            for i in 0..m {
+                assert!((c[j * m + i] - (1.0 - reference[j * m + i])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn getrf_reconstructs_pa() {
+        let (m, n) = (5, 3);
+        // A deterministic well-conditioned panel.
+        let a0: Vec<f64> = (0..m * n)
+            .map(|i| ((i * 7 + 3) % 11) as f64 + if i % (m + 1) == 0 { 10.0 } else { 0.0 })
+            .collect();
+        let mut a = a0.clone();
+        let mut piv = vec![0u32; n];
+        getrf(&mut a, m, n, &mut piv).unwrap();
+        // Rebuild P·A0 from L and U and compare.
+        let mut pa = a0.clone();
+        laswp(&mut pa, m, n, &piv);
+        for j in 0..n {
+            for i in 0..m {
+                // (L U)(i, j) = sum_p L(i,p) U(p,j), p <= min(i, j).
+                let mut v = 0.0;
+                for p in 0..=j.min(i) {
+                    let l = if i == p { 1.0 } else { a[p * m + i] };
+                    let u = a[j * m + p];
+                    if i >= p {
+                        v += l * u;
+                    }
+                }
+                assert!((pa[j * m + i] - v).abs() < 1e-9, "PA({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn getrf_detects_singularity() {
+        let mut a = vec![0.0; 6]; // 3x2 of zeros
+        let mut piv = vec![0u32; 2];
+        assert_eq!(getrf(&mut a, 3, 2, &mut piv), Err(0));
+    }
+
+    #[test]
+    fn trsm_llu_solves_unit_lower() {
+        let (lm, k) = (4, 3);
+        // Unit lower triangular L in a 4x3 panel (rows 0..3 hold L).
+        let mut l = vec![0.0; lm * k];
+        l[0 * lm + 1] = 0.5;
+        l[0 * lm + 2] = 0.25;
+        l[1 * lm + 2] = 0.75;
+        // X known, B = L X.
+        let (m, n) = (4, 2);
+        let x = [1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0, 0.0]; // k x n at top of m-row block
+        let mut b = vec![0.0; m * n];
+        for c in 0..n {
+            for i in 0..k {
+                let mut v = x[c * m + i];
+                for p in 0..i {
+                    v += l[p * lm + i] * x[c * m + p];
+                }
+                b[c * m + i] = v;
+            }
+        }
+        trsm_llu(&mut b, m, n, &l, lm, k);
+        for c in 0..n {
+            for i in 0..k {
+                assert!((b[c * m + i] - x[c * m + i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sequential reference factorizations and residual checks — the oracle
+//! the parallel executors are validated against.
+
+use crate::csc::SparseMatrix;
+use crate::kernels;
+
+/// Dense Cholesky of a sparse SPD matrix (small matrices): returns the
+/// dense column-major lower factor.
+pub fn dense_cholesky(a: &SparseMatrix) -> Result<Vec<f64>, usize> {
+    assert_eq!(a.nrows, a.ncols);
+    let n = a.nrows;
+    let mut d = a.to_dense();
+    kernels::potrf(&mut d, n)?;
+    // Zero the strictly upper part for clean comparisons.
+    for j in 1..n {
+        for i in 0..j {
+            d[j * n + i] = 0.0;
+        }
+    }
+    Ok(d)
+}
+
+/// Dense LU with partial pivoting of a sparse matrix: returns the packed
+/// factors (L unit-lower below diagonal, U on/above) and the pivot vector.
+pub fn dense_lu(a: &SparseMatrix) -> Result<(Vec<f64>, Vec<u32>), usize> {
+    assert_eq!(a.nrows, a.ncols);
+    let n = a.nrows;
+    let mut d = a.to_dense();
+    let mut piv = vec![0u32; n];
+    kernels::getrf(&mut d, n, n, &mut piv)?;
+    Ok((d, piv))
+}
+
+/// Solve `A x = b` with dense-LU factors from [`dense_lu`].
+pub fn lu_solve(factors: &[f64], piv: &[u32], b: &[f64]) -> Vec<f64> {
+    let n = piv.len();
+    let mut x = b.to_vec();
+    kernels::laswp(&mut x, n, 1, piv);
+    // Forward: L y = P b (unit diagonal).
+    for j in 0..n {
+        let v = x[j];
+        for i in j + 1..n {
+            x[i] -= factors[j * n + i] * v;
+        }
+    }
+    // Backward: U x = y.
+    for j in (0..n).rev() {
+        x[j] /= factors[j * n + j];
+        let v = x[j];
+        for i in 0..j {
+            x[i] -= factors[j * n + i] * v;
+        }
+    }
+    x
+}
+
+/// Solve `A x = b` with a dense Cholesky factor.
+pub fn cholesky_solve(l: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = b.to_vec();
+    // L y = b.
+    for j in 0..n {
+        y[j] /= l[j * n + j];
+        let v = y[j];
+        for i in j + 1..n {
+            y[i] -= l[j * n + i] * v;
+        }
+    }
+    // Lᵀ x = y.
+    for j in (0..n).rev() {
+        let mut v = y[j];
+        for i in j + 1..n {
+            v -= l[j * n + i] * y[i];
+        }
+        y[j] = v / l[j * n + j];
+    }
+    y
+}
+
+/// Relative residual `‖A x − b‖₂ / (‖A‖_F ‖x‖₂ + ‖b‖₂)`.
+pub fn rel_residual(a: &SparseMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.spmv(x);
+    let rnorm = ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    let xnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    rnorm / (a.fro_norm() * xnorm + bnorm).max(f64::MIN_POSITIVE)
+}
+
+/// Max absolute difference between `L Lᵀ` and `A` over the full matrix
+/// (small matrices; `l` dense column-major lower-triangular).
+pub fn cholesky_defect(a: &SparseMatrix, l: &[f64]) -> f64 {
+    let n = a.nrows;
+    let mut worst = 0.0f64;
+    for j in 0..n {
+        for i in 0..n {
+            let mut v = 0.0;
+            for p in 0..=i.min(j) {
+                v += l[p * n + i] * l[p * n + j];
+            }
+            worst = worst.max((v - a.get(i, j)).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dense_cholesky_factors_spd() {
+        let a = gen::bcsstk_like(3, 3, 2, 5);
+        let l = dense_cholesky(&a).expect("SPD");
+        assert!(cholesky_defect(&a, &l) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solve_gives_small_residual() {
+        let a = gen::grid2d_laplacian(6, 6);
+        let l = dense_cholesky(&a).unwrap();
+        let b: Vec<f64> = (0..36).map(|i| (i as f64 * 0.37).cos()).collect();
+        let x = cholesky_solve(&l, &b);
+        assert!(rel_residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_gives_small_residual() {
+        let a = gen::goodwin_like(100, 6, 2, 4);
+        let (f, piv) = dense_lu(&a).expect("nonsingular");
+        let b: Vec<f64> = (0..100).map(|i| 1.0 + (i as f64 * 0.11).sin()).collect();
+        let x = lu_solve(&f, &piv, &b);
+        assert!(rel_residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn residual_detects_wrong_solution() {
+        let a = gen::grid2d_laplacian(4, 4);
+        let b = vec![1.0; 16];
+        let x = vec![0.0; 16];
+        assert!(rel_residual(&a, &x, &b) > 0.5);
+    }
+}

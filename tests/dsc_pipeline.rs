@@ -1,0 +1,83 @@
+//! The general-DAG scheduling path: DSC clustering → LPT processor
+//! mapping → ordering → discrete-event execution under memory
+//! constraints. DSC assignments are not owner-compute (tasks follow
+//! cluster locality, not object owners), which the DES executor handles;
+//! this is the paper's first-stage alternative to the owner-compute rule.
+
+use rapid::core::fixtures::{random_irregular_graph, RandomGraphSpec};
+use rapid::core::memreq::min_mem;
+use rapid::prelude::*;
+use rapid::rt::des::run_managed;
+use rapid::sched::assign::assignment_from_clusters;
+use rapid::sched::dsc::dsc_cluster;
+
+fn dsc_schedule(seed: u64, nprocs: usize) -> (rapid::core::graph::TaskGraph, Schedule) {
+    let g = random_irregular_graph(seed, &RandomGraphSpec::default());
+    let cost = CostModel::unit();
+    let clusters = dsc_cluster(&g, &cost);
+    let assign = assignment_from_clusters(&g, &clusters.cluster_of, nprocs);
+    let sched = rcp_order(&g, &assign, &cost);
+    (g, sched)
+}
+
+#[test]
+fn dsc_schedules_execute_under_min_mem() {
+    for seed in 0..8 {
+        let (g, sched) = dsc_schedule(seed, 3);
+        assert!(sched.is_valid(&g), "seed {seed}");
+        let mm = min_mem(&g, &sched).min_mem;
+        let out = run_managed(&g, &sched, MachineConfig::unit(3, mm))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(out.peak_mem.iter().all(|&p| p <= mm), "seed {seed}");
+        assert_eq!(out.finish.len(), g.num_tasks());
+    }
+}
+
+#[test]
+fn dsc_beats_or_ties_round_robin_makespan() {
+    // DSC exists to exploit locality: its predicted time should not lose
+    // to a locality-blind round-robin assignment on most graphs. Allow a
+    // margin — both are heuristics — and require it on average.
+    use rapid::core::schedule::evaluate;
+    let cost = CostModel::unit();
+    let mut wins = 0;
+    let total = 10;
+    for seed in 100..100 + total {
+        let g = random_irregular_graph(seed, &RandomGraphSpec::default());
+        let clusters = dsc_cluster(&g, &cost);
+        let dsc_assign = assignment_from_clusters(&g, &clusters.cluster_of, 4);
+        let dsc_pt = evaluate(&g, &cost, &rcp_order(&g, &dsc_assign, &cost)).makespan;
+
+        let rr: Vec<u32> = g.tasks().map(|t| t.0 % 4).collect();
+        let owner: Vec<u32> = (0..g.num_objects()).map(|i| (i % 4) as u32).collect();
+        let rr_assign = rapid::core::schedule::Assignment {
+            task_proc: rr,
+            owner,
+            nprocs: 4,
+        };
+        let rr_pt = evaluate(&g, &cost, &rcp_order(&g, &rr_assign, &cost)).makespan;
+        if dsc_pt <= rr_pt * 1.05 {
+            wins += 1;
+        }
+    }
+    assert!(wins * 2 > total, "DSC competitive on only {wins}/{total} graphs");
+}
+
+#[test]
+fn dsc_unbounded_time_is_a_lower_bound_for_mapped_runs() {
+    // Folding clusters onto finite processors cannot beat the unbounded
+    // cluster schedule's makespan under the same cost model.
+    use rapid::core::schedule::evaluate;
+    let cost = CostModel::unit();
+    for seed in 200..206 {
+        let g = random_irregular_graph(seed, &RandomGraphSpec::default());
+        let clusters = dsc_cluster(&g, &cost);
+        let assign = assignment_from_clusters(&g, &clusters.cluster_of, 2);
+        let pt = evaluate(&g, &cost, &rcp_order(&g, &assign, &cost)).makespan;
+        assert!(
+            pt + 1e-9 >= clusters.parallel_time,
+            "seed {seed}: mapped {pt} < unbounded {}",
+            clusters.parallel_time
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests over random irregular graphs: scheduling
+//! validity, the Definition-6 executability criterion, Theorem-2 bounds,
+//! DES determinism and monotonicity properties.
+
+use proptest::prelude::*;
+use rapid::core::dcg::Dcg;
+use rapid::core::fixtures::{random_irregular_graph, RandomGraphSpec};
+use rapid::core::memreq::min_mem;
+use rapid::prelude::*;
+use rapid::rt::des::{run_managed, run_unmanaged};
+use rapid::rt::ExecError;
+use rapid::sched::assign::cyclic_owner_map;
+use rapid::sched::dts::{dts_order_merged, merge_slices};
+
+fn spec_strategy() -> impl Strategy<Value = (u64, RandomGraphSpec, usize)> {
+    (
+        any::<u64>(),
+        4usize..32,
+        10usize..80,
+        1u64..6,
+        1usize..4,
+        0.0f64..0.8,
+        2usize..5,
+    )
+        .prop_map(|(seed, objects, tasks, max_obj_size, max_reads, update_prob, nprocs)| {
+            (
+                seed,
+                RandomGraphSpec {
+                    objects,
+                    tasks,
+                    max_obj_size,
+                    max_reads,
+                    update_prob,
+                    // Half the property runs exercise commuting marks.
+                    accum_prob: if seed % 2 == 0 { 0.5 } else { 0.0 },
+                    max_weight: 5.0,
+                },
+                nprocs,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three orderings produce valid schedules covering every task.
+    #[test]
+    fn orderings_are_valid((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let cost = CostModel::unit();
+        for sched in [
+            rcp_order(&g, &assign, &cost),
+            mpo_order(&g, &assign, &cost),
+            dts_order(&g, &assign, &cost),
+            dts_order_merged(&g, &assign, &cost, g.seq_space()),
+        ] {
+            prop_assert!(sched.is_valid(&g));
+        }
+    }
+
+    /// Definition 6: a schedule executes under capacity `c` iff
+    /// `c >= MIN_MEM` (counting allocator).
+    #[test]
+    fn executable_iff_min_mem((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let sched = mpo_order(&g, &assign, &CostModel::unit());
+        let mm = min_mem(&g, &sched).min_mem;
+        let ok = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm));
+        prop_assert!(ok.is_ok(), "failed at MIN_MEM: {:?}", ok.err());
+        if mm > 0 {
+            let bad = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm - 1));
+            let is_non_exec = matches!(bad, Err(ExecError::NonExecutable { .. }));
+            prop_assert!(is_non_exec);
+        }
+    }
+
+    /// The DES is deterministic: two runs agree exactly.
+    #[test]
+    fn des_is_deterministic((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let sched = rcp_order(&g, &assign, &CostModel::unit());
+        let mm = min_mem(&g, &sched).min_mem;
+        let a = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm)).unwrap();
+        let b = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm)).unwrap();
+        prop_assert_eq!(a.parallel_time, b.parallel_time);
+        prop_assert_eq!(a.maps, b.maps);
+        prop_assert_eq!(a.finish, b.finish);
+    }
+
+    /// Theorem 2: a DTS schedule's per-processor peak is bounded by
+    /// perm(p) + h where h = max slice volatile requirement.
+    #[test]
+    fn dts_theorem2_bound((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let dcg = Dcg::build(&g);
+        let h = dcg.theorem2_h(&g, &assign);
+        let sched = dts_order(&g, &assign, &CostModel::unit());
+        let rep = min_mem(&g, &sched);
+        for p in 0..nprocs {
+            prop_assert!(
+                rep.peak[p] <= rep.perm[p] + h,
+                "P{}: {} > {} + {}", p, rep.peak[p], rep.perm[p], h
+            );
+        }
+    }
+
+    /// Slice merging respects the volatile budget: the merged schedule
+    /// needs no more than the strict-DTS requirement plus the budget.
+    #[test]
+    fn slice_merging_budget((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let dcg = Dcg::build(&g);
+        let budget = g.seq_space() / 2;
+        let (merged_of, nmerged) = merge_slices(&g, &assign, &dcg, budget);
+        prop_assert!(nmerged <= dcg.num_slices);
+        // Merged ids are monotone over slice ids (consecutive merging).
+        for w in merged_of.windows(2) {
+            prop_assert!(w[0] == w[1] || w[0] + 1 == w[1]);
+        }
+        // Sum of H within each merged slice stays within budget (unless a
+        // single slice already exceeds it).
+        let mut sums = vec![0u64; nmerged as usize];
+        for (l, &ml) in merged_of.iter().enumerate() {
+            sums[ml as usize] += dcg.max_volatile_space(&g, &assign, l as u32);
+        }
+        for (ml, &s) in sums.iter().enumerate() {
+            let single = merged_of.iter().filter(|&&x| x == ml as u32).count() == 1;
+            prop_assert!(s <= budget || single);
+        }
+    }
+
+    /// The memory-managed run never beats the unmanaged baseline on the
+    /// zero-overhead unit machine by more than float noise, and never
+    /// exceeds its memory.
+    #[test]
+    fn managed_vs_unmanaged_sanity((seed, spec, nprocs) in spec_strategy()) {
+        let g = random_irregular_graph(seed, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let sched = rcp_order(&g, &assign, &CostModel::unit());
+        let rep = min_mem(&g, &sched);
+        let machine = MachineConfig::unit(nprocs, rep.tot_no_recycle);
+        let base = run_unmanaged(&g, &sched, machine.clone()).unwrap();
+        let managed = run_managed(&g, &sched, machine).unwrap();
+        prop_assert!(managed.parallel_time >= base.parallel_time - 1e-9);
+        prop_assert!(managed
+            .peak_mem
+            .iter()
+            .zip(&base.peak_mem)
+            .all(|(m, b)| m <= b));
+    }
+}
+
+/// MEM_REQ monotonicity: the peak with recycling never exceeds the
+/// no-recycling footprint, and MIN_MEM is at least the largest
+/// permanent+single-task requirement.
+#[test]
+fn memreq_bounds_on_many_seeds() {
+    for seed in 0..40u64 {
+        let g = random_irregular_graph(seed, &RandomGraphSpec::default());
+        let owner = cyclic_owner_map(g.num_objects(), 3);
+        let assign = owner_compute_assignment(&g, &owner, 3);
+        let sched = rcp_order(&g, &assign, &CostModel::unit());
+        let rep = min_mem(&g, &sched);
+        for p in 0..3 {
+            assert!(rep.peak[p] <= rep.perm[p] + rep.vola_total[p]);
+            assert!(rep.peak[p] >= rep.perm[p]);
+        }
+        assert!(rep.min_mem <= rep.tot_no_recycle);
+    }
+}
