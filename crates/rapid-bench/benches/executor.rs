@@ -1,8 +1,8 @@
-//! Criterion microbenches for the executors: the discrete-event engine
-//! under loose/tight memory and the threaded executor on a real workload.
+//! Microbenches for the executors: the discrete-event engine under
+//! loose/tight memory and the threaded executor on a real workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rapid_bench::harness::{cholesky_workloads, schedule, Order, Scale};
+use rapid_bench::timing::bench;
 use rapid_core::memreq::min_mem;
 use rapid_machine::config::MachineConfig;
 use rapid_rt::des::run_managed;
@@ -10,50 +10,28 @@ use rapid_rt::threaded::ThreadedExecutor;
 use rapid_sparse::{gen, taskgen};
 use std::hint::black_box;
 
-fn bench_des(c: &mut Criterion) {
+fn main() {
     let (_, w) = cholesky_workloads(Scale::Small).into_iter().next().unwrap();
     let sched4 = schedule(&w, 4, Order::Rcp, u64::MAX);
     let rep = min_mem(w.graph(), &sched4);
-    let mut group = c.benchmark_group("des/cholesky-small-p4");
-    for (name, cap) in [
-        ("loose", rep.tot_no_recycle),
-        ("tight", rep.min_mem),
-    ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let machine = MachineConfig::t3d(4).with_capacity(cap);
-                black_box(run_managed(w.graph(), &sched4, machine).unwrap())
-            })
+    for (name, cap) in [("loose", rep.tot_no_recycle), ("tight", rep.min_mem)] {
+        bench(&format!("des/cholesky-small-p4/{name}"), &mut || {
+            let machine = MachineConfig::t3d(4).with_capacity(cap);
+            black_box(run_managed(w.graph(), &sched4, machine).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_threaded(c: &mut Criterion) {
     let a = gen::bcsstk_like(6, 6, 3, 3);
     let model = taskgen::cholesky_2d_model(&a, 9, 4);
-    let assign =
-        rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
+    let assign = rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
     let sched = rapid_sched::mpo::mpo_order(
         &model.graph,
         &assign,
         &rapid_core::schedule::CostModel::unit(),
     );
     let rep = min_mem(&model.graph, &sched);
-    c.bench_function("threaded/cholesky-n108-p4-min-mem", |b| {
-        b.iter(|| {
-            let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem + 512);
-            black_box(exec.run_with_init(model.body(), model.init(&a)).unwrap())
-        })
+    bench("threaded/cholesky-n108-p4-min-mem", &mut || {
+        let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem + 512);
+        black_box(exec.run_with_init(model.body(), model.init(&a)).unwrap());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600));
-    targets = bench_des, bench_threaded
-}
-criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion microbenches for the dense block kernels (the cost-model
-//! calibration points: flops per second of potrf/trsm/gemm/getrf).
+//! Microbenches for the dense block kernels (the cost-model calibration
+//! points: time per potrf/trsm/gemm/getrf call), including the tiled
+//! versus straight-loop comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_bench::timing::bench;
 use rapid_sparse::kernels;
 use std::hint::black_box;
 
@@ -15,17 +16,18 @@ fn spd_block(n: usize) -> Vec<f64> {
     a
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels");
+fn main() {
     for &n in &[16usize, 32, 64] {
         let a = spd_block(n);
-        group.throughput(Throughput::Elements((n * n * n) as u64 / 3));
-        group.bench_with_input(BenchmarkId::new("potrf", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut x = a.clone();
-                kernels::potrf(black_box(&mut x), n).unwrap();
-                black_box(x)
-            })
+        bench(&format!("kernels/potrf/{n}"), &mut || {
+            let mut x = a.clone();
+            kernels::potrf(black_box(&mut x), n).unwrap();
+            black_box(&x);
+        });
+        bench(&format!("kernels/potrf_unblocked/{n}"), &mut || {
+            let mut x = a.clone();
+            kernels::potrf_unblocked(black_box(&mut x), n).unwrap();
+            black_box(&x);
         });
         let l = {
             let mut x = a.clone();
@@ -33,40 +35,26 @@ fn bench_kernels(c: &mut Criterion) {
             x
         };
         let panel: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.1).sin()).collect();
-        group.throughput(Throughput::Elements((n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("trsm_rlt", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut x = panel.clone();
-                kernels::trsm_rlt(black_box(&mut x), n, &l, n);
-                black_box(x)
-            })
+        bench(&format!("kernels/trsm_rlt/{n}"), &mut || {
+            let mut x = panel.clone();
+            kernels::trsm_rlt(black_box(&mut x), n, &l, n);
+            black_box(&x);
         });
-        group.throughput(Throughput::Elements(2 * (n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("gemm_nt_sub", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut cmat = panel.clone();
-                kernels::gemm_nt_sub(black_box(&mut cmat), n, n, &a, &panel, n);
-                black_box(cmat)
-            })
+        bench(&format!("kernels/gemm_nt_sub/{n}"), &mut || {
+            let mut cmat = panel.clone();
+            kernels::gemm_nt_sub(black_box(&mut cmat), n, n, &a, &panel, n);
+            black_box(&cmat);
         });
-        group.bench_with_input(BenchmarkId::new("getrf", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut x = a.clone();
-                let mut piv = vec![0u32; n];
-                kernels::getrf(black_box(&mut x), n, n, &mut piv).unwrap();
-                black_box((x, piv))
-            })
+        bench(&format!("kernels/gemm_nt_sub_naive/{n}"), &mut || {
+            let mut cmat = panel.clone();
+            kernels::gemm_nt_sub_naive(black_box(&mut cmat), n, n, &a, &panel, n);
+            black_box(&cmat);
+        });
+        bench(&format!("kernels/getrf/{n}"), &mut || {
+            let mut x = a.clone();
+            let mut piv = vec![0u32; n];
+            kernels::getrf(black_box(&mut x), n, n, &mut piv).unwrap();
+            black_box(&(x, piv));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600));
-    targets = bench_kernels
-}
-criterion_main!(benches);

@@ -1,77 +1,53 @@
-//! Criterion microbenches for the scheduling stack: the three orderings,
-//! DSC clustering, DCG construction and the liveness/memory analysis.
+//! Microbenches for the scheduling stack: the three orderings, DSC
+//! clustering, DCG construction and the liveness/memory analysis.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rapid_bench::harness::{cholesky_workloads, lu_workload, Scale};
+use rapid_bench::timing::bench;
 use rapid_core::dcg::Dcg;
 use rapid_core::memreq::min_mem;
 use rapid_core::schedule::CostModel;
 use rapid_sched::assign::owner_compute_assignment;
 use std::hint::black_box;
 
-fn bench_orderings(c: &mut Criterion) {
+fn main() {
     let (_, w) = cholesky_workloads(Scale::Small).into_iter().next().unwrap();
     let g = w.graph();
     let owner = w.owner_map(4);
     let assign = owner_compute_assignment(g, &owner, 4);
     let cost = CostModel::unit();
-    let mut group = c.benchmark_group("ordering/cholesky-small");
-    group.bench_function("rcp", |b| {
-        b.iter(|| black_box(rapid_sched::rcp::rcp_order(g, &assign, &cost)))
+    bench("ordering/cholesky-small/rcp", &mut || {
+        black_box(rapid_sched::rcp::rcp_order(g, &assign, &cost));
     });
-    group.bench_function("mpo", |b| {
-        b.iter(|| black_box(rapid_sched::mpo::mpo_order(g, &assign, &cost)))
+    bench("ordering/cholesky-small/mpo", &mut || {
+        black_box(rapid_sched::mpo::mpo_order(g, &assign, &cost));
     });
-    group.bench_function("dts", |b| {
-        b.iter(|| black_box(rapid_sched::dts::dts_order(g, &assign, &cost)))
+    bench("ordering/cholesky-small/dts", &mut || {
+        black_box(rapid_sched::dts::dts_order(g, &assign, &cost));
     });
-    group.bench_function("dts_merged", |b| {
-        b.iter(|| {
-            black_box(rapid_sched::dts::dts_order_merged(
-                g,
-                &assign,
-                &cost,
-                g.seq_space() / 2,
-            ))
-        })
+    bench("ordering/cholesky-small/dts_merged", &mut || {
+        black_box(rapid_sched::dts::dts_order_merged(g, &assign, &cost, g.seq_space() / 2));
     });
-    group.finish();
-}
 
-fn bench_analysis(c: &mut Criterion) {
     let (_, w) = lu_workload(Scale::Small);
     let g = w.graph();
     let owner = w.owner_map(4);
     let assign = owner_compute_assignment(g, &owner, 4);
-    let cost = CostModel::unit();
     let sched = rapid_sched::rcp::rcp_order(g, &assign, &cost);
-    let mut group = c.benchmark_group("analysis/lu-small");
-    group.bench_function("dcg_build", |b| b.iter(|| black_box(Dcg::build(g))));
-    group.bench_function("min_mem", |b| b.iter(|| black_box(min_mem(g, &sched))));
-    group.bench_function("dsc_cluster", |b| {
-        b.iter(|| black_box(rapid_sched::dsc::dsc_cluster(g, &cost)))
+    bench("analysis/lu-small/dcg_build", &mut || {
+        black_box(Dcg::build(g));
     });
-    group.finish();
-}
-
-fn bench_graph_build(c: &mut Criterion) {
-    use rapid_core::fixtures::{random_irregular_graph, RandomGraphSpec};
-    let spec = RandomGraphSpec { objects: 64, tasks: 400, ..Default::default() };
-    c.bench_function("graph/random_irregular_400", |b| {
-        b.iter_batched(
-            || spec.clone(),
-            |s| black_box(random_irregular_graph(7, &s)),
-            BatchSize::SmallInput,
-        )
+    bench("analysis/lu-small/min_mem", &mut || {
+        black_box(min_mem(g, &sched));
     });
-}
+    bench("analysis/lu-small/dsc_cluster", &mut || {
+        black_box(rapid_sched::dsc::dsc_cluster(g, &cost));
+    });
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600));
-    targets = bench_orderings, bench_analysis, bench_graph_build
+    {
+        use rapid_core::fixtures::{random_irregular_graph, RandomGraphSpec};
+        let spec = RandomGraphSpec { objects: 64, tasks: 400, ..Default::default() };
+        bench("graph/random_irregular_400", &mut || {
+            black_box(random_irregular_graph(7, &spec));
+        });
+    }
 }
-criterion_main!(benches);

@@ -79,19 +79,20 @@ fn main() {
     let a = gen::bcsstk_like(5, 5, 3, 11);
     let a = a.permute_sym(&rapid_sparse::order::min_degree(&a));
     let model = taskgen::cholesky_2d_model(&a, 10, 4);
-    let assign =
-        rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
-    let sched =
-        rapid_sched::rcp::rcp_order(&model.graph, &assign, &rapid_core::schedule::CostModel::unit());
+    let assign = rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
+    let sched = rapid_sched::rcp::rcp_order(
+        &model.graph,
+        &assign,
+        &rapid_core::schedule::CostModel::unit(),
+    );
     let mm = min_mem(&model.graph, &sched).min_mem;
     println!("Ablation 3: arena placement, 2-D Cholesky n={} p=4, MIN_MEM={mm}", a.ncols);
     // Find the smallest capacity at which each policy completes. The
     // threaded executor always uses best-fit internally, so emulate
     // first-fit by replaying the planner trace into both arena policies.
-    for policy in [
-        rapid_machine::arena::FitPolicy::BestFit,
-        rapid_machine::arena::FitPolicy::FirstFit,
-    ] {
+    for policy in
+        [rapid_machine::arena::FitPolicy::BestFit, rapid_machine::arena::FitPolicy::FirstFit]
+    {
         let mut cap = mm;
         loop {
             if replay_fits(&model, &sched, cap, policy) {
@@ -124,8 +125,7 @@ fn commuting_ablation() {
         ("strict   ", taskgen::cholesky_2d_model(&a, 8, p)),
         ("commuting", taskgen::cholesky_2d_model_commuting(&a, 8, p)),
     ] {
-        let assign =
-            rapid_sched::assign::owner_compute_assignment(&m.graph, &m.owner, p);
+        let assign = rapid_sched::assign::owner_compute_assignment(&m.graph, &m.owner, p);
         let depth = rapid_core::algo::dag_depth(&m.graph);
         let sched = rapid_sched::rcp::rcp_order(&m.graph, &assign, &cost);
         let gantt = evaluate(&m.graph, &cost, &sched);
@@ -140,7 +140,7 @@ fn commuting_ablation() {
 /// Ablation 5: dependence-structure storage vs data space (§6).
 fn control_structure_report(scale: Scale) {
     println!("\nAblation 5: dependence-structure storage (paper §6: 18-50% of memory)");
-    let mut report = |label: &str, w: &Workload| {
+    let report = |label: &str, w: &Workload| {
         let sched = schedule(w, 8, Order::Rcp, u64::MAX);
         let plan = rapid_rt::maps::RtPlan::new(w.graph(), &sched);
         let ctrl = plan.control_units(w.graph());
@@ -175,8 +175,7 @@ fn replay_fits(
     for p in 0..sched.assign.nprocs {
         let mut arena = Arena::with_policy(capacity, policy);
         for d in g.objects() {
-            if sched.assign.owner_of(d) as usize == p && arena.alloc(g.obj_size(d)).is_err()
-            {
+            if sched.assign.owner_of(d) as usize == p && arena.alloc(g.obj_size(d)).is_err() {
                 return false;
             }
         }

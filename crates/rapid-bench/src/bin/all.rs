@@ -5,14 +5,11 @@ use std::process::Command;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     for bin in [
-        "fig2", "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-        "fig7", "table8", "ablation",
+        "fig2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig7",
+        "table8", "ablation",
     ] {
         println!("\n================ {bin} ================\n");
         let mut cmd = Command::new(exe_dir.join(bin));

@@ -1,0 +1,226 @@
+//! The performance snapshot binary: measures the threaded executor on
+//! standard fixtures and the tiled kernels against their straight-loop
+//! references, then writes `BENCH_executor.json` and
+//! `BENCH_kernels.json` into the current directory.
+//!
+//! Run with `cargo run --release -p rapid-bench --bin bench`. The JSON is
+//! hand-assembled (no serialization dependency) and committed alongside
+//! the code so executor changes carry a before/after record.
+
+use rapid_bench::timing::{bench_ns, fmt_ns};
+use rapid_core::fixtures::{self, random_irregular_graph, RandomGraphSpec};
+use rapid_core::memreq::min_mem;
+use rapid_core::schedule::CostModel;
+use rapid_rt::threaded::{TaskCtx, ThreadedExecutor};
+use rapid_sparse::{gen, kernels, taskgen};
+use std::fmt::Write as _;
+
+/// One named measurement destined for a JSON report.
+struct Entry {
+    name: String,
+    ns: f64,
+    extra: Vec<(String, String)>,
+}
+
+fn json(entries: &[Entry]) -> String {
+    let mut s = String::from("{\n  \"runs\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(s, "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}", e.name, e.ns);
+        for (k, v) in &e.extra {
+            let _ = write!(s, ", \"{k}\": {v}");
+        }
+        s.push_str(if i + 1 < entries.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn body(t: rapid_core::graph::TaskId, ctx: &mut TaskCtx<'_>) {
+    let mut acc = t.0 as f64;
+    for d in ctx.read_ids().collect::<Vec<_>>() {
+        acc += ctx.read(d).iter().sum::<f64>();
+    }
+    for d in ctx.write_ids().collect::<Vec<_>>() {
+        for x in ctx.write(d) {
+            *x += acc;
+        }
+    }
+}
+
+fn executor_report() -> Vec<Entry> {
+    let mut out = Vec::new();
+
+    // Figure 2 of the paper at exactly MIN_MEM: the smallest end-to-end
+    // protocol exercise (2 processors, one remote dependence chain).
+    {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let mm = min_mem(&g, &sched).min_mem;
+        let exec = ThreadedExecutor::new(&g, &sched, mm);
+        let mut maps = Vec::new();
+        let ns = bench_ns(&mut || {
+            let r = exec.run(body).unwrap();
+            maps = r.maps;
+        });
+        println!("executor/figure2-p2-min-mem        {}", fmt_ns(ns));
+        out.push(Entry {
+            name: "figure2-p2-min-mem".into(),
+            ns,
+            extra: vec![("maps".into(), format!("{maps:?}"))],
+        });
+    }
+
+    // Random irregular graphs at exactly MIN_MEM on 4 threads: the
+    // deadlock-stress configuration, dominated by protocol overhead —
+    // address resolution, suspended-send retry, and spin waits.
+    {
+        let spec = RandomGraphSpec { objects: 48, tasks: 160, ..Default::default() };
+        let g = random_irregular_graph(11, &spec);
+        let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
+        let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
+        let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
+        let rep = min_mem(&g, &sched);
+        let exec = ThreadedExecutor::new(&g, &sched, rep.min_mem);
+        let ns = bench_ns(&mut || {
+            // Fragmentation at exactly MIN_MEM is a legal resource
+            // failure for a first-fit arena; timing still covers the
+            // protocol path.
+            let _ = exec.run(body);
+        });
+        println!("executor/random-irregular-p4-min-mem  {}", fmt_ns(ns));
+        out.push(Entry {
+            name: "random-irregular-t160-p4-min-mem".into(),
+            ns,
+            extra: vec![("min_mem".into(), rep.min_mem.to_string())],
+        });
+    }
+
+    // Block Cholesky on a bcsstk-like sparse matrix: a real workload with
+    // data movement, exercising the kernel and executor layers together.
+    {
+        let a = gen::bcsstk_like(6, 6, 3, 3);
+        let model = taskgen::cholesky_2d_model(&a, 9, 4);
+        let assign = rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
+        let sched = rapid_sched::mpo::mpo_order(&model.graph, &assign, &CostModel::unit());
+        let rep = min_mem(&model.graph, &sched);
+        let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem + 512);
+        let ns = bench_ns(&mut || {
+            exec.run_with_init(model.body(), model.init(&a)).unwrap();
+        });
+        println!("executor/cholesky-n108-p4          {}", fmt_ns(ns));
+        out.push(Entry {
+            name: "cholesky-n108-p4-min-mem+512".into(),
+            ns,
+            extra: vec![("tasks".into(), model.graph.num_tasks().to_string())],
+        });
+    }
+
+    out
+}
+
+fn kernel_report() -> Vec<Entry> {
+    let mut out = Vec::new();
+    for &n in &[32usize, 64, 96] {
+        let a: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let bt: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let c0: Vec<f64> = (0..n * n).map(|i| i as f64 * 1e-3).collect();
+
+        let tiled = bench_ns(&mut || {
+            let mut c = c0.clone();
+            kernels::gemm_nt_sub(std::hint::black_box(&mut c), n, n, &a, &bt, n);
+        });
+        let naive = bench_ns(&mut || {
+            let mut c = c0.clone();
+            kernels::gemm_nt_sub_naive(std::hint::black_box(&mut c), n, n, &a, &bt, n);
+        });
+        report_pair(&mut out, "gemm_nt_sub", n, tiled, naive);
+
+        let tiled = bench_ns(&mut || {
+            let mut c = c0.clone();
+            kernels::gemm_nn_sub(std::hint::black_box(&mut c), n, 0, n, n, &a, n, 0, &bt, n, n);
+        });
+        let naive = bench_ns(&mut || {
+            let mut c = c0.clone();
+            kernels::gemm_nn_sub_naive(
+                std::hint::black_box(&mut c),
+                n,
+                0,
+                n,
+                n,
+                &a,
+                n,
+                0,
+                &bt,
+                n,
+                n,
+            );
+        });
+        report_pair(&mut out, "gemm_nn_sub", n, tiled, naive);
+
+        // SPD block for the factorizations.
+        let mut spd = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                spd[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
+            }
+        }
+        let tiled = bench_ns(&mut || {
+            let mut x = spd.clone();
+            kernels::potrf(std::hint::black_box(&mut x), n).unwrap();
+        });
+        let naive = bench_ns(&mut || {
+            let mut x = spd.clone();
+            kernels::potrf_unblocked(std::hint::black_box(&mut x), n).unwrap();
+        });
+        report_pair(&mut out, "potrf", n, tiled, naive);
+    }
+    // getrf dispatches to the unblocked reference below the 3·NB
+    // crossover, so the pair is only meaningful at larger sizes.
+    for &n in &[128usize, 192] {
+        let mut spd = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                spd[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
+            }
+        }
+        let tiled = bench_ns(&mut || {
+            let mut x = spd.clone();
+            let mut piv = vec![0u32; n];
+            kernels::getrf(std::hint::black_box(&mut x), n, n, &mut piv).unwrap();
+        });
+        let naive = bench_ns(&mut || {
+            let mut x = spd.clone();
+            let mut piv = vec![0u32; n];
+            kernels::getrf_unblocked(std::hint::black_box(&mut x), n, n, &mut piv).unwrap();
+        });
+        report_pair(&mut out, "getrf", n, tiled, naive);
+    }
+    out
+}
+
+fn report_pair(out: &mut Vec<Entry>, kernel: &str, n: usize, tiled: f64, naive: f64) {
+    let speedup = naive / tiled;
+    println!(
+        "kernels/{kernel}/{n}: tiled {} naive {} speedup {speedup:.2}x",
+        fmt_ns(tiled),
+        fmt_ns(naive)
+    );
+    out.push(Entry {
+        name: format!("{kernel}/{n}"),
+        ns: tiled,
+        extra: vec![
+            ("naive_ns_per_iter".into(), format!("{naive:.1}")),
+            ("speedup".into(), format!("{speedup:.3}")),
+        ],
+    });
+}
+
+fn main() {
+    println!("== executor ==");
+    let exec = executor_report();
+    std::fs::write("BENCH_executor.json", json(&exec)).expect("write BENCH_executor.json");
+    println!("== kernels ==");
+    let kern = kernel_report();
+    std::fs::write("BENCH_kernels.json", json(&kern)).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_executor.json, BENCH_kernels.json");
+}

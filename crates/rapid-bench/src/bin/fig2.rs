@@ -44,16 +44,15 @@ fn main() {
 
     // Figure 5: the DCG and the DTS schedule.
     let dcg = Dcg::build(&g);
-    println!("\nFigure 5(a): DCG has {} nodes (acyclic: {})", dcg.obj_of_node.len(), dcg.is_acyclic());
+    println!(
+        "\nFigure 5(a): DCG has {} nodes (acyclic: {})",
+        dcg.obj_of_node.len(),
+        dcg.is_acyclic()
+    );
     let mut order: Vec<(u32, String)> = dcg
         .obj_of_node
         .iter()
-        .map(|&d| {
-            (
-                dcg.slice_of_node[dcg.node_of_obj[d.idx()] as usize],
-                format!("d{}", d.0 + 1),
-            )
-        })
+        .map(|&d| (dcg.slice_of_node[dcg.node_of_obj[d.idx()] as usize], format!("d{}", d.0 + 1)))
         .collect();
     order.sort();
     println!(

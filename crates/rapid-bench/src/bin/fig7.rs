@@ -23,11 +23,7 @@ fn run(name: &str, w: &Workload, ps: &[usize]) {
         .collect();
     println!(
         "{}",
-        render_table(
-            &format!("Figure 7: memory scalability S1/S_p ({name})"),
-            &header,
-            &frows
-        )
+        render_table(&format!("Figure 7: memory scalability S1/S_p ({name})"), &header, &frows)
     );
     // ASCII plot: one row per ordering, scaled to the perfect value.
     println!("Scalability as fraction of perfect (#=10%):");
@@ -35,7 +31,11 @@ fn run(name: &str, w: &Workload, ps: &[usize]) {
         print!("  {:<4}", o.name());
         for (p, vals) in &rows {
             let frac = vals[oi] / *p as f64;
-            print!(" p{p}:[{}{}]", "#".repeat((frac * 10.0).round() as usize), " ".repeat(10usize.saturating_sub((frac * 10.0).round() as usize)));
+            print!(
+                " p{p}:[{}{}]",
+                "#".repeat((frac * 10.0).round() as usize),
+                " ".repeat(10usize.saturating_sub((frac * 10.0).round() as usize))
+            );
         }
         println!();
     }

@@ -22,15 +22,9 @@ fn main() {
         for (i, &(_, v)) in r.iter().enumerate() {
             ratios[i] += v / workloads.len() as f64;
         }
-        rows.push((
-            name.clone(),
-            r.iter().map(|&(_, v)| format!("{v:.2}")).collect::<Vec<_>>(),
-        ));
+        rows.push((name.clone(), r.iter().map(|&(_, v)| format!("{v:.2}")).collect::<Vec<_>>()));
     }
-    rows.push((
-        "average".to_string(),
-        ratios.iter().map(|v| format!("{v:.2}")).collect(),
-    ));
+    rows.push(("average".to_string(), ratios.iter().map(|v| format!("{v:.2}")).collect()));
     let mut header = vec!["#processors".to_string()];
     header.extend(ps.iter().map(|p| p.to_string()));
     println!(

@@ -17,10 +17,8 @@ fn main() {
         .collect();
     for (name, w) in cholesky_workloads(scale) {
         let rows = compare_table(&w, &ps, &pcts, Order::Rcp, Order::Mpo);
-        let frows: Vec<(String, Vec<String>)> = rows
-            .into_iter()
-            .map(|(p, cells)| (format!("P={p}"), cells))
-            .collect();
+        let frows: Vec<(String, Vec<String>)> =
+            rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
         println!(
             "{}",
             render_table(
@@ -32,17 +30,11 @@ fn main() {
     }
     let (name, w) = lu_workload(scale);
     let rows = compare_table(&w, &ps, &pcts, Order::Rcp, Order::Mpo);
-    let frows: Vec<(String, Vec<String>)> = rows
-        .into_iter()
-        .map(|(p, cells)| (format!("P={p}"), cells))
-        .collect();
+    let frows: Vec<(String, Vec<String>)> =
+        rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
     println!(
         "{}",
-        render_table(
-            &format!("Table 4(b): RCP vs MPO, sparse LU ({name})"),
-            &header,
-            &frows
-        )
+        render_table(&format!("Table 4(b): RCP vs MPO, sparse LU ({name})"), &header, &frows)
     );
     println!("Cells: PT_MPO/PT_RCP - 1. '*' = only MPO executable, '-' = neither.");
     println!("Paper shape: |cell| mostly < 10%, with '*' cells where MPO's lower");

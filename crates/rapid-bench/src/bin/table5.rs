@@ -15,10 +15,8 @@ fn main() {
         .collect();
     for (name, w) in cholesky_workloads(scale) {
         let rows = maps_table(&w, &ps, &pcts, Order::Rcp, Order::Mpo);
-        let frows: Vec<(String, Vec<String>)> = rows
-            .into_iter()
-            .map(|(p, cells)| (format!("P={p}"), cells))
-            .collect();
+        let frows: Vec<(String, Vec<String>)> =
+            rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
         println!(
             "{}",
             render_table(

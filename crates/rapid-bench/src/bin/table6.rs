@@ -17,10 +17,8 @@ fn main() {
         .collect();
     for (name, w) in cholesky_workloads(scale) {
         let rows = compare_table(&w, &ps, &pcts, Order::Mpo, Order::Dts);
-        let frows: Vec<(String, Vec<String>)> = rows
-            .into_iter()
-            .map(|(p, cells)| (format!("P={p}"), cells))
-            .collect();
+        let frows: Vec<(String, Vec<String>)> =
+            rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
         println!(
             "{}",
             render_table(
@@ -32,17 +30,11 @@ fn main() {
     }
     let (name, w) = lu_workload(scale);
     let rows = compare_table(&w, &ps, &pcts, Order::Mpo, Order::Dts);
-    let frows: Vec<(String, Vec<String>)> = rows
-        .into_iter()
-        .map(|(p, cells)| (format!("P={p}"), cells))
-        .collect();
+    let frows: Vec<(String, Vec<String>)> =
+        rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
     println!(
         "{}",
-        render_table(
-            &format!("Table 6(b): MPO vs DTS, sparse LU ({name})"),
-            &header,
-            &frows
-        )
+        render_table(&format!("Table 6(b): MPO vs DTS, sparse LU ({name})"), &header, &frows)
     );
     println!("Cells: PT_DTS/PT_MPO - 1. '*' = only DTS executable.");
     println!("Paper shape: DTS slower, gap grows with p; LU gap > Cholesky gap;");

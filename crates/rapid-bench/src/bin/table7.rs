@@ -16,10 +16,8 @@ fn main() {
         .collect();
     for (name, w) in cholesky_workloads(scale) {
         let rows = compare_table(&w, &ps, &pcts, Order::Rcp, Order::DtsMerged);
-        let frows: Vec<(String, Vec<String>)> = rows
-            .into_iter()
-            .map(|(p, cells)| (format!("P={p}"), cells))
-            .collect();
+        let frows: Vec<(String, Vec<String>)> =
+            rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
         println!(
             "{}",
             render_table(
@@ -31,10 +29,8 @@ fn main() {
     }
     let (name, w) = lu_workload(scale);
     let rows = compare_table(&w, &ps, &pcts, Order::Rcp, Order::DtsMerged);
-    let frows: Vec<(String, Vec<String>)> = rows
-        .into_iter()
-        .map(|(p, cells)| (format!("P={p}"), cells))
-        .collect();
+    let frows: Vec<(String, Vec<String>)> =
+        rows.into_iter().map(|(p, cells)| (format!("P={p}"), cells)).collect();
     println!(
         "{}",
         render_table(

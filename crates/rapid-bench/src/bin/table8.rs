@@ -29,12 +29,12 @@ fn main() {
     for &p in &ps {
         let sched = schedule(&w, p, Order::Mpo, cap);
         let cells = match run_at(&w, &sched, p, cap) {
-            Ok(out) => vec![
+            Some(out) => vec![
                 format!("{:.2}", out.parallel_time),
                 format!("{:.2}", out.avg_maps()),
                 format!("{:.1}", flops / out.parallel_time / 1.0e6),
             ],
-            Err(()) => vec!["∞".into(), "∞".into(), "-".into()],
+            None => vec!["∞".into(), "∞".into(), "-".into()],
         };
         rows.push((format!("{p}"), cells));
     }

@@ -91,9 +91,7 @@ pub fn cholesky_workloads(scale: Scale) -> Vec<(String, Workload)> {
     let specs: &[(&str, usize, usize, usize, usize)] = match scale {
         // (name, nx, ny, dofs, block width)
         Scale::Small => &[("bcsstk15-like", 9, 8, 3, 9), ("bcsstk24-like", 7, 6, 6, 12)],
-        Scale::Paper => {
-            &[("bcsstk15-like", 36, 36, 3, 24), ("bcsstk24-like", 24, 25, 6, 24)]
-        }
+        Scale::Paper => &[("bcsstk15-like", 36, 36, 3, 24), ("bcsstk24-like", 24, 25, 6, 24)],
     };
     specs
         .iter()
@@ -169,33 +167,23 @@ pub fn schedule(w: &Workload, p: usize, order: Order, capacity: u64) -> Schedule
         Order::Rcp => rapid_sched::rcp::rcp_order(g, &assign, &cost),
         Order::Mpo => rapid_sched::mpo::mpo_order(g, &assign, &cost),
         Order::Dts => rapid_sched::dts::dts_order(g, &assign, &cost),
-        Order::DtsMerged => {
-            rapid_sched::dts::dts_order_merged(g, &assign, &cost, capacity)
-        }
+        Order::DtsMerged => rapid_sched::dts::dts_order_merged(g, &assign, &cost, capacity),
     }
 }
 
 /// The scheduler-facing cost model matching [`MachineConfig::t3d`].
 pub fn t3d_cost() -> CostModel {
     let m = MachineConfig::t3d(1);
-    CostModel {
-        latency: m.put_overhead * m.flops,
-        per_unit: m.per_unit_time * m.flops,
-    }
+    CostModel { latency: m.put_overhead * m.flops, per_unit: m.per_unit_time * m.flops }
 }
 
-/// A managed run at an absolute capacity. `Ok` carries the outcome,
-/// `Err(())` means non-executable.
-pub fn run_at(
-    w: &Workload,
-    sched: &Schedule,
-    p: usize,
-    capacity: u64,
-) -> Result<DesOutcome, ()> {
+/// A managed run at an absolute capacity. `Some` carries the outcome,
+/// `None` means non-executable.
+pub fn run_at(w: &Workload, sched: &Schedule, p: usize, capacity: u64) -> Option<DesOutcome> {
     let machine = MachineConfig::t3d(p).with_capacity(capacity);
     match run_managed(w.graph(), sched, machine) {
-        Ok(o) => Ok(o),
-        Err(ExecError::NonExecutable { .. }) => Err(()),
+        Ok(o) => Some(o),
+        Err(ExecError::NonExecutable { .. }) => None,
         Err(e) => panic!("unexpected executor error: {e}"),
     }
 }
@@ -224,17 +212,16 @@ pub fn mem_constraint_table(
         let rep = min_mem(w.graph(), &sched);
         let tot = rep.tot_no_recycle;
         let machine = MachineConfig::t3d(p).with_capacity(tot);
-        let base = run_unmanaged(w.graph(), &sched, machine)
-            .expect("baseline fits its own TOT");
+        let base = run_unmanaged(w.graph(), &sched, machine).expect("baseline fits its own TOT");
         let mut cells = Vec::new();
         for &pct in pcts {
             let cap = (tot as f64 * pct).floor() as u64;
             let cell = match run_at(w, &sched, p, cap) {
-                Ok(out) => Cell {
+                Some(out) => Cell {
                     pt_increase: Some(out.parallel_time / base.parallel_time - 1.0),
                     maps: Some(out.avg_maps()),
                 },
-                Err(()) => Cell { pt_increase: None, maps: None },
+                None => Cell { pt_increase: None, maps: None },
             };
             cells.push(cell);
         }
@@ -287,12 +274,12 @@ pub fn compare_table(
             let ra = run_at(w, &sa, p, cap);
             let rb = run_at(w, &sb, p, cap);
             let cell = match (ra, rb) {
-                (Ok(oa), Ok(ob)) => {
+                (Some(oa), Some(ob)) => {
                     format!("{:+.1}%", (ob.parallel_time / oa.parallel_time - 1.0) * 100.0)
                 }
-                (Err(()), Ok(_)) => "*".to_string(),
-                (Ok(_), Err(())) => "!".to_string(),
-                (Err(()), Err(())) => "-".to_string(),
+                (None, Some(_)) => "*".to_string(),
+                (Some(_), None) => "!".to_string(),
+                (None, None) => "-".to_string(),
             };
             cells.push(cell);
         }
@@ -321,8 +308,8 @@ pub fn maps_table(
             let fmt = |o: Order, cache: &mut Option<Schedule>| -> String {
                 let s = schedule_cached(w, p, o, cap, cache);
                 match run_at(w, &s, p, cap) {
-                    Ok(out) => format!("{:.2}", out.avg_maps()),
-                    Err(()) => "∞".to_string(),
+                    Some(out) => format!("{:.2}", out.avg_maps()),
+                    None => "∞".to_string(),
                 }
             };
             let left = fmt(a, &mut ca);
@@ -336,11 +323,7 @@ pub fn maps_table(
 
 /// Memory-scalability data (Figure 7): for each processor count, the
 /// ratios `S1 / S_p^A` for each ordering plus the perfect `p` line.
-pub fn memory_scalability(
-    w: &Workload,
-    ps: &[usize],
-    orders: &[Order],
-) -> Vec<(usize, Vec<f64>)> {
+pub fn memory_scalability(w: &Workload, ps: &[usize], orders: &[Order]) -> Vec<(usize, Vec<f64>)> {
     let mut rows = Vec::new();
     for &p in ps {
         let mut vals = Vec::new();
@@ -390,11 +373,7 @@ pub fn render_table(title: &str, header: &[String], rows: &[(String, Vec<String>
     line(&mut out, header);
     out.push_str(&format!(
         "|{}|\n",
-        widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("|")
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
     ));
     for (label, cells) in rows {
         let mut full = vec![label.clone()];
@@ -505,13 +484,9 @@ mod tests {
     fn shapes_table4_star_cells_exist_for_lu() {
         // MPO rescues configurations RCP cannot run (the '*' cells).
         let (_, w) = lu_workload(Scale::Small);
-        let rows =
-            compare_table(&w, &[2, 4, 8], &[0.5, 0.4, 0.3, 0.25], Order::Rcp, Order::Mpo);
-        let stars = rows
-            .iter()
-            .flat_map(|(_, cells)| cells.iter())
-            .filter(|c| c.as_str() == "*")
-            .count();
+        let rows = compare_table(&w, &[2, 4, 8], &[0.5, 0.4, 0.3, 0.25], Order::Rcp, Order::Mpo);
+        let stars =
+            rows.iter().flat_map(|(_, cells)| cells.iter()).filter(|c| c.as_str() == "*").count();
         assert!(stars > 0, "no '*' cells: {rows:?}");
     }
 

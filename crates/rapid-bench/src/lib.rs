@@ -3,5 +3,6 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod timing;
 
 pub use harness::*;

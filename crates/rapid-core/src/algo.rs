@@ -9,7 +9,8 @@ use crate::schedule::{Assignment, CostModel};
 pub fn topo_sort(g: &TaskGraph) -> Option<Vec<TaskId>> {
     let n = g.num_tasks();
     let mut indeg: Vec<u32> = (0..n).map(|t| g.preds(TaskId(t as u32)).len() as u32).collect();
-    let mut queue: Vec<TaskId> = (0..n as u32).map(TaskId).filter(|t| indeg[t.idx()] == 0).collect();
+    let mut queue: Vec<TaskId> =
+        (0..n as u32).map(TaskId).filter(|t| indeg[t.idx()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut head = 0;
     while head < queue.len() {

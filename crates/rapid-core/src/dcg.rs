@@ -170,13 +170,7 @@ impl Dcg {
     /// Volatile space requirement `V_{P_x}(R, L)` of Definition 7: the
     /// space for volatile objects used when executing the tasks of slice
     /// `l` on processor `px` under assignment `assign`.
-    pub fn volatile_space(
-        &self,
-        g: &TaskGraph,
-        assign: &Assignment,
-        l: u32,
-        px: ProcId,
-    ) -> u64 {
+    pub fn volatile_space(&self, g: &TaskGraph, assign: &Assignment, l: u32, px: ProcId) -> u64 {
         let mut seen: Vec<ObjId> = Vec::new();
         for &t in &self.slice_tasks[l as usize] {
             if assign.proc_of(t) != px {
@@ -202,10 +196,7 @@ impl Dcg {
 
     /// `h = max_i H(R, L_i)` of Theorem 2.
     pub fn theorem2_h(&self, g: &TaskGraph, assign: &Assignment) -> u64 {
-        (0..self.num_slices)
-            .map(|l| self.max_volatile_space(g, assign, l))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_slices).map(|l| self.max_volatile_space(g, assign, l)).max().unwrap_or(0)
     }
 
     /// True when the DCG itself is acyclic, i.e. every slice holds exactly
@@ -250,9 +241,7 @@ mod tests {
         // Slice numbering is a topological order; check the paper's
         // precedence facts: d1 before d3, d3 before d4, d4 before d5,
         // d5 before d7, d7 before d8 and d2 last among its predecessors.
-        let sl = |i: u32| {
-            dcg.slice_of_node[dcg.node_of_obj[fixtures::obj(i).idx()] as usize]
-        };
+        let sl = |i: u32| dcg.slice_of_node[dcg.node_of_obj[fixtures::obj(i).idx()] as usize];
         assert!(sl(1) < sl(3));
         assert!(sl(3) < sl(4));
         assert!(sl(4) < sl(5));
@@ -285,10 +274,7 @@ mod tests {
         let dcg = Dcg::build(&g);
         let na = dcg.node_of_obj[da.idx()];
         let nb = dcg.node_of_obj[db.idx()];
-        assert_eq!(
-            dcg.slice_of_node[na as usize],
-            dcg.slice_of_node[nb as usize]
-        );
+        assert_eq!(dcg.slice_of_node[na as usize], dcg.slice_of_node[nb as usize]);
         assert!(!dcg.is_acyclic());
     }
 

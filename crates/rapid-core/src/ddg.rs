@@ -300,10 +300,9 @@ impl TraceBuilder {
                 AccessKind::Write => match self.policy {
                     WritePolicy::Rename => {
                         self.close_batch(cur.idx());
-                        let has_producer =
-                            !matches!(self.producer[cur.idx()], Producer::None);
-                        let prior_deps = self.readers_since[cur.idx()].len()
-                            + usize::from(has_producer);
+                        let has_producer = !matches!(self.producer[cur.idx()], Producer::None);
+                        let prior_deps =
+                            self.readers_since[cur.idx()].len() + usize::from(has_producer);
                         if prior_deps > 0 && has_producer {
                             // A fresh version removes the would-be anti and
                             // output edges entirely.

@@ -118,10 +118,7 @@ pub fn figure2_owner_map(p: u32) -> Vec<u32> {
 pub fn figure2_assignment() -> Assignment {
     let g = figure2_dag();
     let owner = figure2_owner_map(2);
-    let task_proc = g
-        .tasks()
-        .map(|t| owner[g.writes(t)[0] as usize])
-        .collect();
+    let task_proc = g.tasks().map(|t| owner[g.writes(t)[0] as usize]).collect();
     Assignment { task_proc, owner, nprocs: 2 }
 }
 
@@ -150,8 +147,8 @@ pub fn figure2_schedule_b() -> Schedule {
     sched_from_labels(
         &["T[1]", "T[3]", "T[5]", "T[1,7]", "T[8,9]", "T[8,11]"],
         &[
-            "T[1,4]", "T[3,4]", "T[4,6]", "T[5,6]", "T[7,8]", "T[1,2]", "T[3,10]",
-            "T[4,10]", "T[5,10]", "T[7,10]", "T[8]", "T[4,2]", "T[2,10]", "T[2,6]",
+            "T[1,4]", "T[3,4]", "T[4,6]", "T[5,6]", "T[7,8]", "T[1,2]", "T[3,10]", "T[4,10]",
+            "T[5,10]", "T[7,10]", "T[8]", "T[4,2]", "T[2,10]", "T[2,6]",
         ],
     )
 }
@@ -162,8 +159,8 @@ pub fn figure2_schedule_c() -> Schedule {
     sched_from_labels(
         &["T[1]", "T[3]", "T[5]", "T[1,7]", "T[8,9]", "T[8,11]"],
         &[
-            "T[1,4]", "T[3,4]", "T[4,6]", "T[5,6]", "T[3,10]", "T[1,2]", "T[4,10]",
-            "T[5,10]", "T[7,8]", "T[7,10]", "T[8]", "T[4,2]", "T[2,10]", "T[2,6]",
+            "T[1,4]", "T[3,4]", "T[4,6]", "T[5,6]", "T[3,10]", "T[1,2]", "T[4,10]", "T[5,10]",
+            "T[7,8]", "T[7,10]", "T[8]", "T[4,2]", "T[2,10]", "T[2,6]",
         ],
     )
 }
@@ -242,9 +239,8 @@ pub fn random_irregular_graph(seed: u64, spec: &RandomGraphSpec) -> TaskGraph {
     use crate::ddg::{AccessKind, TraceBuilder, WritePolicy};
     let mut rng = SplitMix64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let mut tb = TraceBuilder::new(WritePolicy::Rename);
-    let objs: Vec<ObjId> = (0..spec.objects)
-        .map(|_| tb.add_object(1 + rng.below(spec.max_obj_size)))
-        .collect();
+    let objs: Vec<ObjId> =
+        (0..spec.objects).map(|_| tb.add_object(1 + rng.below(spec.max_obj_size))).collect();
     let mut written: Vec<ObjId> = Vec::new();
     for i in 0..spec.tasks {
         let weight = 1.0 + rng.unit_f64() * (spec.max_weight - 1.0);

@@ -100,9 +100,9 @@ impl Liveness {
 mod tests {
     use super::*;
     use crate::fixtures;
+    use crate::graph::TaskGraphBuilder;
     use crate::graph::TaskId;
     use crate::schedule::{Assignment, Schedule};
-    use crate::graph::TaskGraphBuilder;
 
     #[test]
     fn spans_on_simple_pipeline() {
@@ -122,15 +122,9 @@ mod tests {
         b.add_edge(w0, r2);
         b.add_edge(w1, r1);
         let g = b.build().unwrap();
-        let assign = Assignment {
-            task_proc: vec![0, 0, 1, 1, 1],
-            owner: vec![0, 0, 1, 1, 1],
-            nprocs: 2,
-        };
-        let sched = Schedule {
-            assign,
-            order: vec![vec![w0, w1], vec![r0, r1, r2]],
-        };
+        let assign =
+            Assignment { task_proc: vec![0, 0, 1, 1, 1], owner: vec![0, 0, 1, 1, 1], nprocs: 2 };
+        let sched = Schedule { assign, order: vec![vec![w0, w1], vec![r0, r1, r2]] };
         let lv = Liveness::analyze(&g, &sched);
         let p1 = &lv.procs[1];
         assert_eq!(p1.volatile, vec![da, db]);
@@ -155,9 +149,7 @@ mod tests {
         let sched = fixtures::figure2_schedule_b();
         let lv = Liveness::analyze(&g, &sched);
         let p1 = &lv.procs[1];
-        let pos_of = |t: TaskId| {
-            sched.order[1].iter().position(|&x| x == t).unwrap() as u32
-        };
+        let pos_of = |t: TaskId| sched.order[1].iter().position(|&x| x == t).unwrap() as u32;
         let d3 = fixtures::obj(3);
         let d5 = fixtures::obj(5);
         let t_3_10 = fixtures::figure2_task(&g, "T[3,10]");

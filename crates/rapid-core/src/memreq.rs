@@ -98,14 +98,7 @@ pub fn min_mem_with(g: &TaskGraph, sched: &Schedule, lv: &Liveness) -> MemReport
     }
     let min_mem = peak.iter().copied().max().unwrap_or(0);
     let tot_no_recycle = (0..nprocs).map(|p| perm[p] + vola_total[p]).max().unwrap_or(0);
-    MemReport {
-        perm,
-        vola_total,
-        peak,
-        min_mem,
-        tot_no_recycle,
-        s1: g.seq_space(),
-    }
+    MemReport { perm, vola_total, peak, min_mem, tot_no_recycle, s1: g.seq_space() }
 }
 
 #[cfg(test)]

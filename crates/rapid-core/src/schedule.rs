@@ -231,7 +231,7 @@ pub fn evaluate(g: &TaskGraph, cost: &CostModel, sched: &Schedule) -> Gantt {
                     ready = arrive;
                 }
             }
-            if best.map_or(true, |(s, _, _)| ready < s) {
+            if best.is_none_or(|(s, _, _)| ready < s) {
                 best = Some((ready, p, t));
             }
         }
@@ -244,10 +244,7 @@ pub fn evaluate(g: &TaskGraph, cost: &CostModel, sched: &Schedule) -> Gantt {
         rows[p].push((t, start, end));
         executed += 1;
     }
-    let makespan = rows
-        .iter()
-        .flat_map(|r| r.iter().map(|&(_, _, f)| f))
-        .fold(0.0f64, f64::max);
+    let makespan = rows.iter().flat_map(|r| r.iter().map(|&(_, _, f)| f)).fold(0.0f64, f64::max);
     Gantt { rows, makespan }
 }
 
@@ -301,11 +298,7 @@ mod tests {
         b.add_edge(t1, t3);
         b.add_edge(t2, t3);
         let g = b.build().unwrap();
-        let assign = Assignment {
-            task_proc: vec![0, 0, 1, 0],
-            owner: vec![0, 0, 1, 0],
-            nprocs: 2,
-        };
+        let assign = Assignment { task_proc: vec![0, 0, 1, 0], owner: vec![0, 0, 1, 0], nprocs: 2 };
         (g, assign)
     }
 
@@ -314,10 +307,7 @@ mod tests {
         let (g, assign) = fork_join();
         let sched = Schedule {
             assign,
-            order: vec![
-                vec![TaskId(0), TaskId(1), TaskId(3)],
-                vec![TaskId(2)],
-            ],
+            order: vec![vec![TaskId(0), TaskId(1), TaskId(3)], vec![TaskId(2)]],
         };
         assert!(sched.is_valid(&g));
         let gantt = evaluate(&g, &CostModel::unit(), &sched);

@@ -193,10 +193,7 @@ impl Arena {
 
     /// Size of the live allocation at `off`, if any.
     pub fn len_at(&self, off: u64) -> Option<u64> {
-        self.live
-            .binary_search_by_key(&off, |&(o, _)| o)
-            .ok()
-            .map(|i| self.live[i].1)
+        self.live.binary_search_by_key(&off, |&(o, _)| o).ok().map(|i| self.live[i].1)
     }
 
     /// Internal consistency check (tests): free and live blocks partition
@@ -221,8 +218,7 @@ impl Arena {
             cursor = o + l;
             prev_free = is_free;
         }
-        cursor == self.capacity
-            && self.in_use == self.live.iter().map(|&(_, l)| l).sum::<u64>()
+        cursor == self.capacity && self.in_use == self.live.iter().map(|&(_, l)| l).sum::<u64>()
     }
 }
 
@@ -281,6 +277,60 @@ mod tests {
     }
 
     #[test]
+    fn directional_coalescing() {
+        // Free blocks must merge with a left-only neighbour, a right-only
+        // neighbour, and both at once — each case leaves a single block.
+        let mut a = Arena::new(60);
+        let x = a.alloc(20).unwrap(); // 0..20
+        let y = a.alloc(20).unwrap(); // 20..40
+        let z = a.alloc(20).unwrap(); // 40..60
+        a.free(x).unwrap();
+        a.free(y).unwrap(); // merges right block into left hole
+        assert_eq!(a.largest_free(), 40);
+        assert_eq!(a.free_units(), 40);
+        let w = a.alloc(40).unwrap(); // refill 0..40
+        a.free(z).unwrap();
+        a.free(w).unwrap(); // merges left block into right hole
+        assert_eq!(a.largest_free(), 60);
+        assert!(a.check_invariants());
+    }
+
+    #[test]
+    fn fragmentation_clears_after_coalesce() {
+        // A Fragmented failure is transient: freeing a neighbour of an
+        // existing hole coalesces enough room and the same request
+        // succeeds.
+        let mut a = Arena::new(40);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(10).unwrap();
+        let z = a.alloc(10).unwrap();
+        let _pin = a.alloc(10).unwrap();
+        a.free(x).unwrap();
+        a.free(z).unwrap();
+        assert!(matches!(a.alloc(20), Err(ArenaError::Fragmented { requested: 20, largest: 10 })));
+        a.free(y).unwrap();
+        assert_eq!(a.alloc(20).unwrap(), 0);
+        assert!(a.check_invariants());
+    }
+
+    #[test]
+    fn len_at_and_accounting() {
+        let mut a = Arena::new(50);
+        let x = a.alloc(20).unwrap();
+        let y = a.alloc(5).unwrap();
+        assert_eq!(a.len_at(x), Some(20));
+        assert_eq!(a.len_at(y), Some(5));
+        assert_eq!(a.len_at(x + 1), None, "interior offsets are not allocations");
+        assert_eq!(a.live_count(), 2);
+        assert_eq!(a.in_use() + a.free_units(), a.capacity());
+        a.free(x).unwrap();
+        assert_eq!(a.len_at(x), None, "freed offset no longer live");
+        assert_eq!(a.live_count(), 1);
+        assert_eq!(a.in_use() + a.free_units(), a.capacity());
+        assert_eq!(a.peak(), 25, "peak keeps the high-water mark after frees");
+    }
+
+    #[test]
     fn bad_free_rejected() {
         let mut a = Arena::new(10);
         let x = a.alloc(5).unwrap();
@@ -306,9 +356,7 @@ mod tests {
         // Free a 10-unit hole between live blocks; best-fit must place
         // the next 10-unit request there while first-fit grabs the big
         // tail block.
-        for (policy, expect_reuse) in
-            [(FitPolicy::BestFit, true), (FitPolicy::FirstFit, false)]
-        {
+        for (policy, expect_reuse) in [(FitPolicy::BestFit, true), (FitPolicy::FirstFit, false)] {
             // Layout: a 30-unit free block at 0 and an exact 10-unit hole
             // at 35, separated by live pins so nothing coalesces.
             let mut a = Arena::with_policy(100, policy);

@@ -12,14 +12,18 @@
 //!   package until the destination has consumed the previous one),
 //! - [`rma`] — the shared-memory RMA window used by the threaded executor:
 //!   one-sided stores into a remote arena at an offset learned from an
-//!   address package, with release/acquire arrival flags.
+//!   address package, with release/acquire arrival flags,
+//! - [`backoff`] — the tiered spin/yield/park strategy the executor's
+//!   blocking waits use instead of unconditional `yield_now` polling.
 
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backoff;
 pub mod config;
 pub mod mailbox;
 pub mod rma;
 
 pub use arena::{Arena, ArenaError};
+pub use backoff::Backoff;
 pub use config::MachineConfig;

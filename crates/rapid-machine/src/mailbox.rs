@@ -54,18 +54,34 @@ impl AddrSlot {
     /// Attempt to deposit `pkg`. Fails (returning the package back) while
     /// the previous package has not been consumed.
     pub fn try_send(&self, pkg: AddrPackage) -> Result<(), AddrPackage> {
-        match self.state.compare_exchange(
-            EMPTY,
-            WRITING,
-            Ordering::Acquire,
-            Ordering::Relaxed,
-        ) {
+        match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
             Ok(_) => {
                 *self.pkg.lock().expect("addr slot poisoned") = pkg;
                 self.state.store(FULL, Ordering::Release);
                 Ok(())
             }
             Err(_) => Err(pkg),
+        }
+    }
+
+    /// Allocation-free variant of [`AddrSlot::try_send`]: copies the
+    /// entries out of `pkg` (clearing it on success, so the caller can
+    /// reuse its capacity for the next MAP) into the slot's resident
+    /// buffer. Returns `false`, leaving `pkg` untouched, while the
+    /// previous package has not been consumed.
+    pub fn try_send_from(&self, pkg: &mut AddrPackage) -> bool {
+        match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => {
+                {
+                    let mut slot = self.pkg.lock().expect("addr slot poisoned");
+                    slot.clear();
+                    slot.extend_from_slice(pkg);
+                }
+                self.state.store(FULL, Ordering::Release);
+                pkg.clear();
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -80,7 +96,26 @@ impl AddrSlot {
         Some(pkg)
     }
 
+    /// Allocation-free variant of [`AddrSlot::take`]: appends the waiting
+    /// entries to `buf` (the receiver's reusable scratch) and leaves the
+    /// slot's buffer — with its capacity — in place for the sender's next
+    /// package. Returns `false` when the slot is empty.
+    #[inline]
+    pub fn take_into(&self, buf: &mut Vec<AddrEntry>) -> bool {
+        if self.state.load(Ordering::Acquire) != FULL {
+            return false;
+        }
+        {
+            let mut slot = self.pkg.lock().expect("addr slot poisoned");
+            buf.extend_from_slice(&slot);
+            slot.clear();
+        }
+        self.state.store(EMPTY, Ordering::Release);
+        true
+    }
+
     /// Is a package waiting?
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.state.load(Ordering::Acquire) == FULL
     }
@@ -97,13 +132,11 @@ pub struct MailboxBoard {
 impl MailboxBoard {
     /// Board for `nprocs` processors.
     pub fn new(nprocs: usize) -> Self {
-        MailboxBoard {
-            nprocs,
-            slots: (0..nprocs * nprocs).map(|_| AddrSlot::new()).collect(),
-        }
+        MailboxBoard { nprocs, slots: (0..nprocs * nprocs).map(|_| AddrSlot::new()).collect() }
     }
 
     /// The slot carrying packages from `src` to `dst`.
+    #[inline]
     pub fn slot(&self, src: usize, dst: usize) -> &AddrSlot {
         &self.slots[src * self.nprocs + dst]
     }
@@ -118,6 +151,30 @@ impl MailboxBoard {
             }
             if let Some(pkg) = self.slot(src, dst).take() {
                 f(src, pkg);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Allocation-free RA: drain every package waiting for `dst` through
+    /// the reusable `scratch` buffer, invoking `f(src, entries)` with a
+    /// borrowed view of each package. Returns the number of packages
+    /// consumed.
+    pub fn drain_for_into<F: FnMut(usize, &[AddrEntry])>(
+        &self,
+        dst: usize,
+        scratch: &mut Vec<AddrEntry>,
+        mut f: F,
+    ) -> usize {
+        let mut n = 0;
+        for src in 0..self.nprocs {
+            if src == dst {
+                continue;
+            }
+            scratch.clear();
+            if self.slot(src, dst).take_into(scratch) {
+                f(src, scratch);
                 n += 1;
             }
         }
@@ -157,6 +214,38 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, 1), (1, 2)]);
         assert_eq!(b.drain_for(2, |_, _| panic!("slot must be empty")), 0);
+    }
+
+    #[test]
+    fn allocation_free_roundtrip_reuses_buffers() {
+        let s = AddrSlot::new();
+        let mut out = vec![AddrEntry { obj: 1, offset: 8 }, AddrEntry { obj: 2, offset: 16 }];
+        assert!(s.try_send_from(&mut out));
+        assert!(out.is_empty(), "send_from clears the caller's buffer");
+        assert!(out.capacity() >= 2, "…but keeps its capacity");
+        // A second send fails and leaves the pending buffer untouched.
+        let mut blocked = vec![AddrEntry { obj: 9, offset: 0 }];
+        assert!(!s.try_send_from(&mut blocked));
+        assert_eq!(blocked.len(), 1);
+        let mut buf = Vec::new();
+        assert!(s.take_into(&mut buf));
+        assert_eq!(buf, vec![AddrEntry { obj: 1, offset: 8 }, AddrEntry { obj: 2, offset: 16 }]);
+        assert!(!s.take_into(&mut buf), "slot drained");
+        assert_eq!(buf.len(), 2, "failed take appends nothing");
+    }
+
+    #[test]
+    fn board_drain_into() {
+        let b = MailboxBoard::new(3);
+        b.slot(0, 2).try_send(vec![AddrEntry { obj: 1, offset: 8 }]).unwrap();
+        b.slot(1, 2).try_send(vec![AddrEntry { obj: 2, offset: 16 }]).unwrap();
+        let mut scratch = Vec::new();
+        let mut seen = Vec::new();
+        let n = b.drain_for_into(2, &mut scratch, |src, pkg| seen.push((src, pkg[0].obj)));
+        assert_eq!(n, 2);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+        assert_eq!(b.drain_for_into(2, &mut scratch, |_, _| panic!("must be empty")), 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl RmaHeap {
     /// # Safety
     /// Caller must hold exclusive access to the range per the module
     /// protocol (no concurrent reader or writer of any overlapping range).
+    #[inline]
     pub unsafe fn put(&self, off: u64, src: &[f64]) {
         debug_assert!(off + src.len() as u64 <= self.capacity());
         let base = self.cells.as_ptr().add(off as usize);
@@ -69,6 +70,7 @@ impl RmaHeap {
     /// # Safety
     /// No thread may be writing any overlapping range; the caller must
     /// have observed the writer's Release flag with Acquire first.
+    #[inline]
     pub unsafe fn read(&self, off: u64, dst: &mut [f64]) {
         debug_assert!(off + dst.len() as u64 <= self.capacity());
         let base = self.cells.as_ptr().add(off as usize);
@@ -80,6 +82,7 @@ impl RmaHeap {
     /// # Safety
     /// Exclusive access to the range per the module protocol for the
     /// lifetime of the returned slice.
+    #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, off: u64, len: u64) -> &mut [f64] {
         debug_assert!(off + len <= self.capacity());
@@ -91,6 +94,7 @@ impl RmaHeap {
     ///
     /// # Safety
     /// No concurrent writer of any overlapping range.
+    #[inline]
     pub unsafe fn slice(&self, off: u64, len: u64) -> &[f64] {
         debug_assert!(off + len <= self.capacity());
         let base = self.cells.as_ptr().add(off as usize) as *const f64;
@@ -113,11 +117,13 @@ impl FlagBoard {
     }
 
     /// Raise flag `i` (Release): publishes every store sequenced before it.
+    #[inline]
     pub fn raise(&self, i: usize) {
         self.flags[i].fetch_add(1, Ordering::Release);
     }
 
     /// Has flag `i` been raised (Acquire)? Synchronizes with the raiser.
+    #[inline]
     pub fn is_raised(&self, i: usize) -> bool {
         self.flags[i].load(Ordering::Acquire) > 0
     }

@@ -41,22 +41,12 @@ pub struct DesConfig {
 impl DesConfig {
     /// Active-memory-management configuration on the given machine.
     pub fn managed(machine: MachineConfig) -> Self {
-        DesConfig {
-            machine,
-            memory_mgmt: true,
-            window: MapWindow::Greedy,
-            addr_buffering: false,
-        }
+        DesConfig { machine, memory_mgmt: true, window: MapWindow::Greedy, addr_buffering: false }
     }
 
     /// Original-RAPID configuration (no recycling).
     pub fn unmanaged(machine: MachineConfig) -> Self {
-        DesConfig {
-            machine,
-            memory_mgmt: false,
-            window: MapWindow::Greedy,
-            addr_buffering: false,
-        }
+        DesConfig { machine, memory_mgmt: false, window: MapWindow::Greedy, addr_buffering: false }
     }
 
     /// Override the MAP window policy.
@@ -187,11 +177,7 @@ impl<'a> DesExecutor<'a> {
                 pos: 0,
                 next_map: 0,
                 now: 0.0,
-                planner: MapPlanner::new(
-                    p as ProcId,
-                    m.capacity,
-                    self.plan.perm_units[p],
-                ),
+                planner: MapPlanner::new(p as ProcId, m.capacity, self.plan.perm_units[p]),
                 pending_pkgs: VecDeque::new(),
                 suspended: VecDeque::new(),
                 known: HashSet::new(),
@@ -201,11 +187,8 @@ impl<'a> DesExecutor<'a> {
         if !self.cfg.memory_mgmt {
             // Original RAPID: all volatile space allocated up front.
             for (p, st) in procs.iter_mut().enumerate() {
-                let vola: u64 = self.plan.lv.procs[p]
-                    .volatile
-                    .iter()
-                    .map(|&d| self.g.obj_size(d))
-                    .sum();
+                let vola: u64 =
+                    self.plan.lv.procs[p].volatile.iter().map(|&d| self.g.obj_size(d)).sum();
                 let need = self.plan.perm_units[p] + vola;
                 if need > m.capacity {
                     return Err(ExecError::NonExecutable {
@@ -226,19 +209,19 @@ impl<'a> DesExecutor<'a> {
         // Address mailboxes: slot[src][dst] holds queued (arrive, entries)
         // packages. The paper's scheme keeps at most one per pair; with
         // `addr_buffering` the queue is unbounded and we track its peak.
-        let mut slots: Vec<Vec<VecDeque<(f64, Vec<u32>)>>> =
+        // Queued (arrival-time, carried-object-ids) packages per pair.
+        type AddrQueue = VecDeque<(f64, Vec<u32>)>;
+        let mut slots: Vec<Vec<AddrQueue>> =
             vec![(0..nprocs).map(|_| VecDeque::new()).collect(); nprocs];
         let mut peak_queued = 0usize;
 
         let mut events: BinaryHeap<Reverse<(Key, u64, u32)>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let push = |events: &mut BinaryHeap<Reverse<(Key, u64, u32)>>,
-                        seq: &mut u64,
-                        t: f64,
-                        p: u32| {
-            *seq += 1;
-            events.push(Reverse((Key(t), *seq, p)));
-        };
+        let push =
+            |events: &mut BinaryHeap<Reverse<(Key, u64, u32)>>, seq: &mut u64, t: f64, p: u32| {
+                *seq += 1;
+                events.push(Reverse((Key(t), *seq, p)));
+            };
         for p in 0..nprocs as u32 {
             push(&mut events, &mut seq, 0.0, p);
         }
@@ -262,10 +245,9 @@ impl<'a> DesExecutor<'a> {
                 // Service RA: consume arrived packages (any state at a
                 // service point is a blocking state or a task boundary).
                 let now = procs[pi].now;
-                for src in 0..nprocs {
-                    while matches!(slots[src][pi].front(), Some((a, _)) if *a <= now) {
-                        let (_, entries) =
-                            slots[src][pi].pop_front().expect("checked above");
+                for (src, row) in slots.iter_mut().enumerate() {
+                    while matches!(row[pi].front(), Some((a, _)) if *a <= now) {
+                        let (_, entries) = row[pi].pop_front().expect("checked above");
                         procs[pi].now += m.ra_cost;
                         for obj in entries {
                             procs[pi].known.insert((src as ProcId, obj));
@@ -282,12 +264,7 @@ impl<'a> DesExecutor<'a> {
                         let arr = self.do_send(&mut procs[pi].now, mid, m);
                         msg_arrival[mid as usize] = Some(arr);
                         msgs_sent += 1;
-                        push(
-                            &mut events,
-                            &mut seq,
-                            arr,
-                            self.plan.msgs[mid as usize].dst_proc,
-                        );
+                        push(&mut events, &mut seq, arr, self.plan.msgs[mid as usize].dst_proc);
                     } else {
                         still.push_back(mid);
                     }
@@ -297,8 +274,7 @@ impl<'a> DesExecutor<'a> {
                 match procs[pi].phase {
                     Phase::Map => {
                         // First entry into this MAP: compute its action.
-                        if procs[pi].pending_pkgs.is_empty()
-                            && procs[pi].pos == procs[pi].next_map
+                        if procs[pi].pending_pkgs.is_empty() && procs[pi].pos == procs[pi].next_map
                         {
                             let pos = procs[pi].pos;
                             let action = procs[pi].planner.run_map_with(
@@ -309,8 +285,7 @@ impl<'a> DesExecutor<'a> {
                                 self.cfg.window,
                             )?;
                             procs[pi].now += m.map_fixed_cost
-                                + m.alloc_cost
-                                    * (action.frees.len() + action.allocs.len()) as f64;
+                                + m.alloc_cost * (action.frees.len() + action.allocs.len()) as f64;
                             procs[pi].next_map = action.next_map;
                             // Group notifications by destination.
                             let mut by_dst: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
@@ -393,8 +368,7 @@ impl<'a> DesExecutor<'a> {
                         let len = self.sched.order[pi].len() as u32;
                         procs[pi].phase = if procs[pi].pos == len {
                             Phase::End
-                        } else if self.cfg.memory_mgmt && procs[pi].pos == procs[pi].next_map
-                        {
+                        } else if self.cfg.memory_mgmt && procs[pi].pos == procs[pi].next_map {
                             Phase::Map
                         } else {
                             Phase::Rec
@@ -480,8 +454,7 @@ impl<'a> DesExecutor<'a> {
             return true; // all addresses exchanged up front
         }
         msg.objs.iter().all(|&d| {
-            self.sched.assign.owner_of(d) == msg.dst_proc
-                || known.contains(&(msg.dst_proc, d.0))
+            self.sched.assign.owner_of(d) == msg.dst_proc || known.contains(&(msg.dst_proc, d.0))
         })
     }
 
@@ -649,9 +622,8 @@ mod tests {
         let g = fixtures::figure2_dag();
         let sched = fixtures::figure2_schedule_c();
         let machine = MachineConfig::unit(2, 100);
-        let greedy = DesExecutor::new(&g, &sched, DesConfig::managed(machine.clone()))
-            .run()
-            .unwrap();
+        let greedy =
+            DesExecutor::new(&g, &sched, DesConfig::managed(machine.clone())).run().unwrap();
         let single = DesExecutor::new(
             &g,
             &sched,
@@ -675,16 +647,10 @@ mod tests {
         let sched = fixtures::figure2_schedule_c();
         // Tight memory: multiple MAPs → multiple packages per pair.
         let machine = MachineConfig::unit(2, 8);
-        let slot = DesExecutor::new(&g, &sched, DesConfig::managed(machine.clone()))
+        let slot = DesExecutor::new(&g, &sched, DesConfig::managed(machine.clone())).run().unwrap();
+        let buf = DesExecutor::new(&g, &sched, DesConfig::managed(machine).with_addr_buffering())
             .run()
             .unwrap();
-        let buf = DesExecutor::new(
-            &g,
-            &sched,
-            DesConfig::managed(machine).with_addr_buffering(),
-        )
-        .run()
-        .unwrap();
         assert!(slot.peak_queued_pkgs <= 1, "single-slot must never queue");
         assert!(buf.peak_queued_pkgs >= 1);
         // Same work completes either way (Theorem 1 needs no buffering).
@@ -694,27 +660,18 @@ mod tests {
     #[test]
     fn random_graphs_execute_iff_min_mem_fits() {
         for seed in 0..10u64 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 3);
             let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 3);
-            let sched = rapid_sched::mpo::mpo_order(
-                &g,
-                &assign,
-                &rapid_core::schedule::CostModel::unit(),
-            );
+            let sched =
+                rapid_sched::mpo::mpo_order(&g, &assign, &rapid_core::schedule::CostModel::unit());
             let mm = min_mem(&g, &sched).min_mem;
             let machine = MachineConfig::unit(3, mm);
             let out = run_managed(&g, &sched, machine).unwrap();
             assert!(out.peak_mem.iter().all(|&pm| pm <= mm), "seed {seed}");
             let machine = MachineConfig::unit(3, mm - 1);
             assert!(
-                matches!(
-                    run_managed(&g, &sched, machine),
-                    Err(ExecError::NonExecutable { .. })
-                ),
+                matches!(run_managed(&g, &sched, machine), Err(ExecError::NonExecutable { .. })),
                 "seed {seed} must fail below MIN_MEM"
             );
         }

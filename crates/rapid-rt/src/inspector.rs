@@ -85,9 +85,8 @@ impl Inspector {
         writes: &[ObjId],
         updates: &[ObjId],
     ) -> TaskId {
-        let mut acc: Vec<(ObjId, AccessKind)> = Vec::with_capacity(
-            reads.len() + writes.len() + updates.len(),
-        );
+        let mut acc: Vec<(ObjId, AccessKind)> =
+            Vec::with_capacity(reads.len() + writes.len() + updates.len());
         acc.extend(reads.iter().map(|&d| (d, AccessKind::Read)));
         acc.extend(writes.iter().map(|&d| (d, AccessKind::Write)));
         acc.extend(updates.iter().map(|&d| (d, AccessKind::Update)));
@@ -115,9 +114,7 @@ pub fn plan_schedule(
         Ordering::Rcp => rapid_sched::rcp::rcp_order(g, &assign, cost),
         Ordering::Mpo => rapid_sched::mpo::mpo_order(g, &assign, cost),
         Ordering::Dts => rapid_sched::dts::dts_order(g, &assign, cost),
-        Ordering::DtsMerged(cap) => {
-            rapid_sched::dts::dts_order_merged(g, &assign, cost, cap)
-        }
+        Ordering::DtsMerged(cap) => rapid_sched::dts::dts_order_merged(g, &assign, cost, cap),
     }
 }
 

@@ -22,6 +22,41 @@ use rapid_core::liveness::Liveness;
 use rapid_core::schedule::Schedule;
 use std::collections::HashMap;
 
+/// Address watchers in dense, hash-free form: for every volatile object of
+/// every processor, the processors that will RMA-put into its buffer and
+/// therefore must be notified of its address when a MAP allocates it.
+///
+/// Stored per allocating processor as a list sorted by object id, so the
+/// MAP-time query is a binary search over that processor's (typically
+/// short) watcher list — no hashing anywhere in the runtime.
+#[derive(Debug, Default)]
+pub struct WatcherTable {
+    /// `per_proc[p]`: `(obj, watchers)` pairs sorted by `obj`.
+    per_proc: Vec<Vec<(u32, Vec<ProcId>)>>,
+}
+
+impl WatcherTable {
+    /// Processors that must learn the address of volatile `obj` on `p`
+    /// (empty for unwatched objects).
+    pub fn of(&self, p: ProcId, obj: u32) -> &[ProcId] {
+        let rows = &self.per_proc[p as usize];
+        match rows.binary_search_by_key(&obj, |&(o, _)| o) {
+            Ok(i) => &rows[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Total number of watched `(proc, obj)` pairs.
+    pub fn len(&self) -> usize {
+        self.per_proc.iter().map(|r| r.len()).sum()
+    }
+
+    /// True when no object is watched.
+    pub fn is_empty(&self) -> bool {
+        self.per_proc.iter().all(|r| r.is_empty())
+    }
+}
+
 /// A run-time message: data present from one task's processor to one
 /// destination processor.
 #[derive(Clone, Debug)]
@@ -54,9 +89,10 @@ pub struct RtPlan {
     pub out_msgs: Vec<Vec<u32>>,
     /// Liveness (volatile lifetimes) per processor.
     pub lv: Liveness,
-    /// `watchers[(p, d)]`: processors that must learn the address of
-    /// volatile `d` on processor `p` (the procs that put into it).
-    pub watchers: HashMap<(ProcId, u32), Vec<ProcId>>,
+    /// Dense watcher table: which processors must learn the address of
+    /// each volatile object when a MAP allocates it (the procs that put
+    /// into it).
+    pub watchers: WatcherTable,
     /// Position of every task in its processor's order.
     pub pos: Vec<u32>,
     /// Per-processor total size of permanent objects.
@@ -137,20 +173,25 @@ impl RtPlan {
             }
         }
 
-        // Address watchers: senders that put each volatile object.
-        let mut watchers: HashMap<(ProcId, u32), Vec<ProcId>> = HashMap::new();
+        // Address watchers: senders that put each volatile object, grouped
+        // per allocating processor and sorted by object id.
+        let mut triples: Vec<(ProcId, u32, ProcId)> = Vec::new();
         for m in &msgs {
             for &d in &m.objs {
                 if assign.owner_of(d) != m.dst_proc {
-                    let w = watchers.entry((m.dst_proc, d.0)).or_default();
-                    if !w.contains(&m.src_proc) {
-                        w.push(m.src_proc);
-                    }
+                    triples.push((m.dst_proc, d.0, m.src_proc));
                 }
             }
         }
-        for w in watchers.values_mut() {
-            w.sort_unstable();
+        triples.sort_unstable();
+        triples.dedup();
+        let mut watchers = WatcherTable { per_proc: vec![Vec::new(); assign.nprocs] };
+        for (p, obj, src) in triples {
+            let rows = &mut watchers.per_proc[p as usize];
+            match rows.last_mut() {
+                Some((o, ws)) if *o == obj => ws.push(src),
+                _ => rows.push((obj, vec![src])),
+            }
         }
 
         let mut perm_units = vec![0u64; assign.nprocs];
@@ -178,21 +219,11 @@ impl RtPlan {
         // message record plus its object/destination lists, and the
         // first-use/dead-after liveness tables.
         let edge_words = 2 * g.num_edges() as u64;
-        let access_entries: u64 = g
-            .tasks()
-            .map(|t| 2 * (g.reads(t).len() + g.writes(t).len()) as u64)
-            .sum();
-        let msg_words: u64 = self
-            .msgs
-            .iter()
-            .map(|m| 3 + m.objs.len() as u64 + m.dst_tasks.len() as u64)
-            .sum();
-        let live_words: u64 = self
-            .lv
-            .procs
-            .iter()
-            .map(|pl| 2 * pl.volatile.len() as u64)
-            .sum();
+        let access_entries: u64 =
+            g.tasks().map(|t| 2 * (g.reads(t).len() + g.writes(t).len()) as u64).sum();
+        let msg_words: u64 =
+            self.msgs.iter().map(|m| 3 + m.objs.len() as u64 + m.dst_tasks.len() as u64).sum();
+        let live_words: u64 = self.lv.procs.iter().map(|pl| 2 * pl.volatile.len() as u64).sum();
         // Two 4-byte entries per unit (one unit = 8 bytes).
         (edge_words + access_entries + msg_words + live_words).div_ceil(2)
     }
@@ -374,10 +405,7 @@ impl MapPlanner {
         // Free volatiles whose last use is strictly before `pos`.
         let mut frees = Vec::new();
         self.allocated.retain(|&d| {
-            let k = pl
-                .volatile
-                .binary_search(&d)
-                .expect("allocated object is volatile here");
+            let k = pl.volatile.binary_search(&d).expect("allocated object is volatile here");
             let (_, last) = pl.volatile_span[k];
             if last < pos {
                 frees.push(d);
@@ -434,15 +462,16 @@ impl MapPlanner {
             }
         }
 
-        // Address notifications for freshly allocated volatiles.
+        // Address notifications for freshly allocated volatiles, pre-sorted
+        // by (destination, object) so executors can batch one package per
+        // destination with a single linear walk.
         let mut notifies = Vec::new();
         for &d in &allocs {
-            if let Some(ws) = plan.watchers.get(&(self.proc, d.0)) {
-                for &w in ws {
-                    notifies.push(Notify { dst: w, obj: d.0, offset: 0 });
-                }
+            for &w in plan.watchers.of(self.proc, d.0) {
+                notifies.push(Notify { dst: w, obj: d.0, offset: 0 });
             }
         }
+        notifies.sort_unstable_by_key(|n| (n.dst, n.obj));
 
         Ok(MapAction { frees, allocs, next_map, notifies })
     }
@@ -463,9 +492,7 @@ mod tests {
         for (p, want) in [(1u32, vec![0u32, 2, 4, 6]), (0u32, vec![7u32])] {
             for d in want {
                 assert!(
-                    plan.msgs
-                        .iter()
-                        .any(|m| m.dst_proc == p && m.objs.contains(&ObjId(d))),
+                    plan.msgs.iter().any(|m| m.dst_proc == p && m.objs.contains(&ObjId(d))),
                     "d{} must flow to P{p}",
                     d + 1
                 );
@@ -474,9 +501,10 @@ mod tests {
         // Address watchers: P1's four volatiles are all put by P0 and vice
         // versa for d8.
         for d in [0u32, 2, 4, 6] {
-            assert_eq!(plan.watchers[&(1, d)], vec![0]);
+            assert_eq!(plan.watchers.of(1, d), &[0]);
         }
-        assert_eq!(plan.watchers[&(0, 7)], vec![1]);
+        assert_eq!(plan.watchers.of(0, 7), &[1]);
+        assert_eq!(plan.watchers.of(0, 0), &[] as &[u32], "unwatched object");
         // Messages from one task to one proc are coalesced: T[1] (writes
         // d1, read by T[1,2] and T[1,4] on P1) sends exactly one message.
         let t1 = fixtures::figure2_task(&g, "T[1]");
@@ -518,9 +546,10 @@ mod tests {
         // At least one word per edge, bounded by a small multiple of the
         // total structure.
         assert!(ctrl >= g.num_edges() as u64);
-        let upper = 4 * (g.num_edges()
-            + g.tasks().map(|t| g.reads(t).len() + g.writes(t).len()).sum::<usize>()
-            + plan.msgs.len() * 8) as u64;
+        let upper = 4
+            * (g.num_edges()
+                + g.tasks().map(|t| g.reads(t).len() + g.writes(t).len()).sum::<usize>()
+                + plan.msgs.len() * 8) as u64;
         assert!(ctrl <= upper, "{ctrl} > {upper}");
         // A larger graph has a larger structure.
         let big = fixtures::random_irregular_graph(
@@ -529,11 +558,8 @@ mod tests {
         );
         let owner = rapid_sched::assign::cyclic_owner_map(big.num_objects(), 2);
         let assign = rapid_sched::assign::owner_compute_assignment(&big, &owner, 2);
-        let bsched = rapid_sched::rcp::rcp_order(
-            &big,
-            &assign,
-            &rapid_core::schedule::CostModel::unit(),
-        );
+        let bsched =
+            rapid_sched::rcp::rcp_order(&big, &assign, &rapid_core::schedule::CostModel::unit());
         let bplan = RtPlan::new(&big, &bsched);
         assert!(bplan.control_units(&big) > ctrl);
     }

@@ -16,49 +16,121 @@
 //! circular-wait chains in the Theorem 1 proof. Stress tests run many
 //! random graphs at exactly `MIN_MEM` capacity to exercise that argument
 //! under real interleavings.
+//!
+//! ## Hot-path layout
+//!
+//! The per-task fast path is hash-free and scan-free:
+//!
+//! - **Address resolution is O(1) array indexing.** Each worker keeps two
+//!   dense tables seeded with the deterministic permanent layout: `local`
+//!   (object id → offset in this processor's arena) and `known`
+//!   (`proc * num_objects + obj` → offset on that processor, filled in by
+//!   RA packages). `resolve`, `try_send` and MAP alloc/free are plain
+//!   array hits.
+//! - **CQ retry is incremental.** A send that is missing a destination
+//!   address parks on the id of the first missing object; an incoming
+//!   address package wakes exactly the parked sends its entries unblock,
+//!   instead of re-scanning every suspended message's full object list on
+//!   every service call (the two-watched-literal trick: a retried send
+//!   that is still blocked re-parks on its next missing object).
+//! - **Blocking waits use tiered backoff** ([`Backoff`]: bounded spin
+//!   hints → `yield_now` → short bounded parks) instead of an
+//!   unconditional `yield_now` per poll, and reset to the spin tier on
+//!   every observed progress.
+//! - **Address packages are batched.** A MAP's notifications arrive
+//!   pre-sorted by destination, so the worker assembles one package per
+//!   collaborating processor in a reusable buffer and performs one
+//!   mailbox hand-off each — no per-entry contention, no allocation in
+//!   steady state.
 
 use crate::maps::{ExecError, MapPlanner, RtPlan};
 use rapid_core::graph::{ObjId, TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
 use rapid_machine::arena::{Arena, ArenaError};
+use rapid_machine::backoff::Backoff;
 use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
 use rapid_machine::rma::{FlagBoard, RmaHeap};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Sentinel for "address not (yet) known" in the dense tables.
+const NO_ADDR: u64 = u64::MAX;
+/// Sentinel for "object not in this task's access set".
+const NO_SLOT: u32 = u32::MAX;
+
 /// The buffers a task may touch while running: shared views of the objects
 /// it reads, exclusive views of the objects it writes (an object both read
 /// and written appears once, in the write set).
+///
+/// Lookups go through a dense per-object slot table precomputed when the
+/// context is assembled, so [`TaskCtx::read`] / [`TaskCtx::write`] are
+/// O(1) — no linear scan of the access set.
 pub struct TaskCtx<'h> {
     reads: Vec<(u32, &'h [f64])>,
     writes: Vec<(u32, &'h mut [f64])>,
+    /// Object id → `(slot << 1) | is_write`, [`NO_SLOT`] when absent.
+    /// Pooled by the executor across tasks: entries touched by this task
+    /// are reset when the context is dismantled.
+    slots: Vec<u32>,
 }
 
 impl<'h> TaskCtx<'h> {
+    /// Build a context, indexing the access sets into `slots` (a scratch
+    /// table of at least `num_objects` entries, all [`NO_SLOT`]).
+    fn assemble(
+        reads: Vec<(u32, &'h [f64])>,
+        writes: Vec<(u32, &'h mut [f64])>,
+        mut slots: Vec<u32>,
+    ) -> Self {
+        for (i, &(o, _)) in reads.iter().enumerate() {
+            slots[o as usize] = (i as u32) << 1;
+        }
+        for (i, (o, _)) in writes.iter().enumerate() {
+            slots[*o as usize] = ((i as u32) << 1) | 1;
+        }
+        TaskCtx { reads, writes, slots }
+    }
+
+    /// Tear the context down, resetting the touched slot entries and
+    /// returning the pooled parts for the next task.
+    #[allow(clippy::type_complexity)]
+    fn dismantle(mut self) -> (Vec<(u32, &'h [f64])>, Vec<(u32, &'h mut [f64])>, Vec<u32>) {
+        for &(o, _) in &self.reads {
+            self.slots[o as usize] = NO_SLOT;
+        }
+        for (o, _) in &self.writes {
+            self.slots[*o as usize] = NO_SLOT;
+        }
+        self.reads.clear();
+        self.writes.clear();
+        (self.reads, self.writes, self.slots)
+    }
+
     /// Buffer of a read object. Panics if the task does not read `d` (or
     /// also writes it — use [`TaskCtx::write`]).
     ///
     /// The returned borrow is tied to the underlying heap (`'h`), not to
     /// the context, so it can be held across a later [`TaskCtx::write`]
     /// call — read and write buffers are always distinct objects.
+    #[inline]
     pub fn read(&self, d: ObjId) -> &'h [f64] {
-        self.reads
-            .iter()
-            .find(|&&(o, _)| o == d.0)
-            .map(|&(_, s)| s)
-            .unwrap_or_else(|| panic!("task does not read-only {d:?}"))
+        let e = self.slots.get(d.idx()).copied().unwrap_or(NO_SLOT);
+        if e == NO_SLOT || e & 1 == 1 {
+            panic!("task does not read-only {d:?}");
+        }
+        self.reads[(e >> 1) as usize].1
     }
 
     /// Mutable buffer of a written object (reads the previous content for
     /// read-modify-write tasks). Panics if the task does not write `d`.
+    #[inline]
     pub fn write(&mut self, d: ObjId) -> &mut [f64] {
-        self.writes
-            .iter_mut()
-            .find(|&&mut (o, _)| o == d.0)
-            .map(|(_, s)| &mut **s)
-            .unwrap_or_else(|| panic!("task does not write {d:?}"))
+        let e = self.slots.get(d.idx()).copied().unwrap_or(NO_SLOT);
+        if e == NO_SLOT || e & 1 == 0 {
+            panic!("task does not write {d:?}");
+        }
+        &mut *self.writes[(e >> 1) as usize].1
     }
 
     /// Ids of read-only objects, in access-set order.
@@ -94,7 +166,8 @@ pub struct ThreadedExecutor<'a> {
     sched: &'a Schedule,
     plan: RtPlan,
     capacity: u64,
-    /// Watchdog: poison the run if a spin wait exceeds this duration.
+    /// Watchdog: poison the run if no local progress (task completion,
+    /// address arrival, or message hand-off) happens within this duration.
     pub watchdog: Duration,
 }
 
@@ -138,7 +211,6 @@ impl<'a> ThreadedExecutor<'a> {
     {
         let nprocs = self.sched.assign.nprocs;
         let g = self.g;
-        let plan = &self.plan;
         let sched = self.sched;
 
         // Deterministic permanent layout: objects in id order, bump
@@ -160,47 +232,44 @@ impl<'a> ThreadedExecutor<'a> {
                 }
             }
         }
-        let perm_off = &perm_off;
 
-        let heaps: Vec<RmaHeap> =
-            (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
-        let heaps = &heaps;
-        let flags = FlagBoard::new(plan.msgs.len());
-        let flags = &flags;
+        let heaps: Vec<RmaHeap> = (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
+        let flags = FlagBoard::new(self.plan.msgs.len());
         let mailboxes = MailboxBoard::new(nprocs);
-        let mailboxes = &mailboxes;
         let poison = AtomicBool::new(false);
-        let poison = &poison;
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
         let error = &error;
-        let body = &body;
-        let init = &init;
-        let watchdog = self.watchdog;
+
+        let shared = Shared {
+            g,
+            sched,
+            plan: &self.plan,
+            capacity: self.capacity,
+            perm_off: &perm_off,
+            heaps: &heaps,
+            flags: &flags,
+            mailboxes: &mailboxes,
+            poison: &poison,
+            watchdog: self.watchdog,
+            body: &body,
+            init: &init,
+        };
+        let shared = &shared;
 
         let fail = move |e: ExecError| {
             let mut slot = error.lock().expect("error mutex poisoned");
             if slot.is_none() {
                 *slot = Some(e);
             }
-            poison.store(true, AtOrd::Release);
+            shared.poison.store(true, AtOrd::Release);
         };
+        let fail = &fail;
 
         let started = Instant::now();
         let per_proc: Vec<(u32, u64, u64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nprocs)
-                .map(|p| {
-                    scope.spawn(move || {
-                        worker(
-                            p, g, sched, plan, self.capacity, perm_off, heaps, flags,
-                            mailboxes, poison, &fail, body, init, watchdog,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
+            let handles: Vec<_> =
+                (0..nprocs).map(|p| scope.spawn(move || worker(p, shared, fail))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
         });
         let wall = started.elapsed();
 
@@ -249,11 +318,11 @@ where
     I: Fn(ObjId, &mut [f64]),
 {
     let order = rapid_core::algo::topo_sort(g).expect("graph is a DAG");
-    let mut bufs: Vec<Vec<f64>> =
-        g.objects().map(|d| vec![0.0; g.obj_size(d) as usize]).collect();
+    let mut bufs: Vec<Vec<f64>> = g.objects().map(|d| vec![0.0; g.obj_size(d) as usize]).collect();
     for (i, buf) in bufs.iter_mut().enumerate() {
         init(ObjId(i as u32), buf);
     }
+    let mut slots = vec![NO_SLOT; g.num_objects()];
     for t in order {
         // Split-borrow the buffers: writes mutably, reads shared.
         let writes_ids = g.writes(t);
@@ -273,54 +342,236 @@ where
                 reads.push((d, slice.as_slice()));
             }
         }
-        let mut ctx = TaskCtx { reads, writes };
+        let mut ctx = TaskCtx::assemble(reads, writes, slots);
         body(t, &mut ctx);
+        slots = ctx.dismantle().2;
     }
     bufs
 }
 
+/// Everything the workers share by reference — one immutable bundle so
+/// the worker signature stays small.
+struct Shared<'e, F, I> {
+    g: &'e TaskGraph,
+    sched: &'e Schedule,
+    plan: &'e RtPlan,
+    capacity: u64,
+    perm_off: &'e [u64],
+    heaps: &'e [RmaHeap],
+    flags: &'e FlagBoard,
+    mailboxes: &'e MailboxBoard,
+    poison: &'e AtomicBool,
+    watchdog: Duration,
+    body: &'e F,
+    init: &'e I,
+}
+
+/// Progress pacing for a worker's blocking waits: tiered backoff plus the
+/// stall watchdog's progress timestamp. The watchdog measures time since
+/// the last *local progress* (task completion, address arrival, suspended
+/// send completing, or a mailbox hand-off) — not total wall time, so long
+/// runs that keep making progress are never falsely poisoned.
+struct Pacer {
+    backoff: Backoff,
+    last_progress: Instant,
+}
+
+impl Pacer {
+    fn new() -> Self {
+        Pacer { backoff: Backoff::new(), last_progress: Instant::now() }
+    }
+
+    /// Record progress: reset the backoff tier and the watchdog clock.
+    #[inline]
+    fn mark(&mut self) {
+        self.backoff.reset();
+        self.last_progress = Instant::now();
+    }
+
+    /// Has the watchdog period elapsed with no progress?
+    #[inline]
+    fn stalled(&self, watchdog: Duration) -> bool {
+        self.last_progress.elapsed() > watchdog
+    }
+
+    /// Wait once, escalating the backoff tier.
+    #[inline]
+    fn wait(&mut self) {
+        self.backoff.wait();
+    }
+}
+
+/// Per-worker communication state: the dense address tables plus the
+/// indexed suspended-send queue.
+struct Net<'e> {
+    p: usize,
+    nobj: usize,
+    plan: &'e RtPlan,
+    g: &'e TaskGraph,
+    heaps: &'e [RmaHeap],
+    flags: &'e FlagBoard,
+    mailboxes: &'e MailboxBoard,
+    /// Object id → offset of its buffer on this processor ([`NO_ADDR`]
+    /// when not resident). Permanent entries are seeded once; volatile
+    /// entries are set/cleared by MAP alloc/free.
+    local: Vec<u64>,
+    /// `proc * nobj + obj` → offset of the object's buffer on `proc`.
+    /// Permanent entries are seeded from the deterministic layout;
+    /// volatile entries arrive via RA packages.
+    known: Vec<u64>,
+    /// `waiters[obj]`: suspended message ids parked on `obj`'s address.
+    /// Each suspended message is parked in exactly one list (its first
+    /// missing object).
+    waiters: Vec<Vec<u32>>,
+    /// Scratch: messages woken by the current RA batch.
+    woken: Vec<u32>,
+    /// Number of currently suspended sends.
+    suspended: usize,
+    /// Scratch for draining mailbox packages without allocation.
+    ra_scratch: Vec<AddrEntry>,
+}
+
+impl<'e> Net<'e> {
+    fn new<F, I>(p: usize, sh: &Shared<'e, F, I>) -> Self {
+        let nobj = sh.g.num_objects();
+        let nprocs = sh.sched.assign.nprocs;
+        let mut local = vec![NO_ADDR; nobj];
+        let mut known = vec![NO_ADDR; nprocs * nobj];
+        // Seed both tables with the globally-known permanent layout.
+        for d in sh.g.objects() {
+            let o = sh.sched.assign.owner_of(d) as usize;
+            known[o * nobj + d.idx()] = sh.perm_off[d.idx()];
+            if o == p {
+                local[d.idx()] = sh.perm_off[d.idx()];
+            }
+        }
+        Net {
+            p,
+            nobj,
+            plan: sh.plan,
+            g: sh.g,
+            heaps: sh.heaps,
+            flags: sh.flags,
+            mailboxes: sh.mailboxes,
+            local,
+            known,
+            waiters: vec![Vec::new(); nobj],
+            woken: Vec::new(),
+            suspended: 0,
+            ra_scratch: Vec::new(),
+        }
+    }
+
+    /// Offset of object `d`'s buffer on this processor.
+    #[inline]
+    fn resolve(&self, d: ObjId) -> u64 {
+        let off = self.local[d.idx()];
+        debug_assert_ne!(off, NO_ADDR, "volatile {d:?} not allocated on P{}", self.p);
+        off
+    }
+
+    /// Try to send message `mid`; on failure returns the id of the first
+    /// object whose destination address is still unknown.
+    fn try_send(&self, mid: u32) -> Result<(), u32> {
+        let msg = &self.plan.msgs[mid as usize];
+        let base = msg.dst_proc as usize * self.nobj;
+        for &d in &msg.objs {
+            if self.known[base + d.idx()] == NO_ADDR {
+                return Err(d.0);
+            }
+        }
+        for &d in &msg.objs {
+            let len = self.g.obj_size(d);
+            let remote = self.known[base + d.idx()];
+            let local = self.resolve(d);
+            // SAFETY (module protocol): we produced this object (our task
+            // wrote it and no later writer has run — dependence
+            // completeness), and the destination buffer is exclusively
+            // ours to fill until we raise the flag.
+            unsafe {
+                let src = self.heaps[self.p].slice(local, len);
+                self.heaps[msg.dst_proc as usize].put(remote, src);
+            }
+        }
+        self.flags.raise(mid as usize);
+        Ok(())
+    }
+
+    /// SND: send `mid` now, or park it on its first missing address.
+    fn send_or_suspend(&mut self, mid: u32) {
+        if let Err(missing) = self.try_send(mid) {
+            self.waiters[missing as usize].push(mid);
+            self.suspended += 1;
+        }
+    }
+
+    /// RA + incremental CQ: drain incoming address packages, then retry
+    /// exactly the parked sends the new addresses may unblock. Returns
+    /// `true` if any package arrived or any suspended send completed.
+    fn service(&mut self) -> bool {
+        let mb = self.mailboxes;
+        let p = self.p;
+        let nobj = self.nobj;
+        let known = &mut self.known;
+        let waiters = &mut self.waiters;
+        let woken = &mut self.woken;
+        let drained = mb.drain_for_into(p, &mut self.ra_scratch, |src, entries| {
+            let base = src * nobj;
+            for e in entries {
+                known[base + e.obj as usize] = e.offset;
+                woken.append(&mut waiters[e.obj as usize]);
+            }
+        });
+        let mut progress = drained > 0;
+        while let Some(mid) = self.woken.pop() {
+            match self.try_send(mid) {
+                Ok(()) => {
+                    self.suspended -= 1;
+                    progress = true;
+                }
+                // Still blocked: re-park on the next missing address.
+                Err(missing) => self.waiters[missing as usize].push(mid),
+            }
+        }
+        progress
+    }
+}
+
 /// Per-thread worker: returns `(maps, peak_units, arena_peak)`.
-#[allow(clippy::too_many_arguments)]
-#[allow(clippy::too_many_arguments)]
 fn worker<F, I>(
     p: usize,
-    g: &TaskGraph,
-    sched: &Schedule,
-    plan: &RtPlan,
-    capacity: u64,
-    perm_off: &[u64],
-    heaps: &[RmaHeap],
-    flags: &FlagBoard,
-    mailboxes: &MailboxBoard,
-    poison: &AtomicBool,
+    sh: &Shared<'_, F, I>,
     fail: &(impl Fn(ExecError) + Sync),
-    body: &F,
-    init: &I,
-    watchdog: Duration,
 ) -> (u32, u64, u64)
 where
     F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
     I: Fn(ObjId, &mut [f64]) + Sync,
 {
-    let mut arena = Arena::new(capacity);
+    let g = sh.g;
+    let sched = sh.sched;
+    let plan = sh.plan;
+    let heaps = sh.heaps;
+    let flags = sh.flags;
+
+    let mut arena = Arena::new(sh.capacity);
     // Reproduce the deterministic permanent layout and load resident data.
     for d in g.objects() {
         if sched.assign.owner_of(d) as usize == p {
             match arena.alloc(g.obj_size(d)) {
                 Ok(off) => {
-                    debug_assert_eq!(off, perm_off[d.idx()]);
+                    debug_assert_eq!(off, sh.perm_off[d.idx()]);
                     // SAFETY: setup phase — no other thread touches our
                     // permanent buffers before the protocol starts (the
                     // first remote put needs an address package or a
                     // write by our own tasks).
-                    init(d, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) });
+                    (sh.init)(d, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) });
                 }
                 Err(_) => {
                     fail(ExecError::NonExecutable {
                         proc: p as u32,
                         position: 0,
                         needed: plan.perm_units[p],
-                        capacity,
+                        capacity: sh.capacity,
                     });
                     return (0, 0, arena.peak());
                 }
@@ -328,91 +579,35 @@ where
         }
     }
 
-    let mut planner = MapPlanner::new(p as u32, capacity, plan.perm_units[p]);
-    // Offsets of this processor's live volatile buffers.
-    let mut local_addr: HashMap<u32, u64> = HashMap::new();
-    // Remote volatile addresses learned via RA: (target proc, obj) -> off.
-    let mut known: HashMap<(u32, u32), u64> = HashMap::new();
-    let mut suspended: Vec<u32> = Vec::new();
+    let mut planner = MapPlanner::new(p as u32, sh.capacity, plan.perm_units[p]);
+    let mut net = Net::new(p, sh);
 
-    // Resolve the local buffer of object `d` on this processor.
-    let resolve = |d: ObjId, local_addr: &HashMap<u32, u64>| -> u64 {
-        if sched.assign.owner_of(d) as usize == p {
-            perm_off[d.idx()]
-        } else {
-            *local_addr
-                .get(&d.0)
-                .unwrap_or_else(|| panic!("volatile {d:?} not allocated on P{p}"))
-        }
-    };
-
-    // RA: drain address packages destined to us.
-    let ra = |known: &mut HashMap<(u32, u32), u64>| {
-        mailboxes.drain_for(p, |src, pkg| {
-            for e in pkg {
-                known.insert((src as u32, e.obj), e.offset);
-            }
-        });
-    };
-
-    // Try to send message `mid`; true on success.
-    let try_send = |mid: u32,
-                    known: &HashMap<(u32, u32), u64>,
-                    local_addr: &HashMap<u32, u64>|
-     -> bool {
-        let msg = &plan.msgs[mid as usize];
-        let dst = msg.dst_proc;
-        // All remote buffer addresses must be known.
-        for &d in &msg.objs {
-            if sched.assign.owner_of(d) != dst && !known.contains_key(&(dst, d.0)) {
-                return false;
-            }
-        }
-        for &d in &msg.objs {
-            let len = g.obj_size(d);
-            let remote = if sched.assign.owner_of(d) == dst {
-                perm_off[d.idx()]
-            } else {
-                known[&(dst, d.0)]
-            };
-            let local = resolve(d, local_addr);
-            // SAFETY (module protocol): we produced this object (our task
-            // wrote it and no later writer has run — dependence
-            // completeness), and the destination buffer is exclusively
-            // ours to fill until we raise the flag.
-            unsafe {
-                let src = heaps[p].slice(local, len);
-                heaps[dst as usize].put(remote, src);
-            }
-        }
-        flags.raise(mid as usize);
-        true
-    };
-
-    // CQ: retry the suspended queue.
-    let cq = |suspended: &mut Vec<u32>,
-              known: &HashMap<(u32, u32), u64>,
-              local_addr: &HashMap<u32, u64>| {
-        suspended.retain(|&mid| !try_send(mid, known, local_addr));
-    };
+    // Pooled task-context parts (no allocation in steady state).
+    let mut ctx_reads: Vec<(u32, &[f64])> = Vec::new();
+    let mut ctx_writes: Vec<(u32, &mut [f64])> = Vec::new();
+    let mut slots = vec![NO_SLOT; g.num_objects()];
+    // Reusable address-package buffer for MAP notifications.
+    let mut pkg_buf: Vec<AddrEntry> = Vec::new();
 
     let order = &sched.order[p];
     let mut pos: u32 = 0;
     let mut next_map: u32 = 0;
-    let deadline = Instant::now() + watchdog;
+    let mut pacer = Pacer::new();
 
     macro_rules! spin_service {
         () => {
-            ra(&mut known);
-            cq(&mut suspended, &known, &local_addr);
-            if poison.load(AtOrd::Acquire) {
+            if sh.poison.load(AtOrd::Acquire) {
                 return (planner.maps(), planner.peak(), arena.peak());
             }
-            if Instant::now() > deadline {
-                fail(ExecError::Stalled { remaining: order.len() - pos as usize });
-                return (planner.maps(), planner.peak(), arena.peak());
+            if net.service() {
+                pacer.mark();
+            } else {
+                if pacer.stalled(sh.watchdog) {
+                    fail(ExecError::Stalled { remaining: order.len() - pos as usize });
+                    return (planner.maps(), planner.peak(), arena.peak());
+                }
+                pacer.wait();
             }
-            std::thread::yield_now();
         };
     }
 
@@ -427,13 +622,15 @@ where
                 }
             };
             for d in &action.frees {
-                let off = local_addr.remove(&d.0).expect("freed volatile was live");
+                let off = net.local[d.idx()];
+                assert_ne!(off, NO_ADDR, "freed volatile was live");
+                net.local[d.idx()] = NO_ADDR;
                 arena.free(off).expect("live volatile frees cleanly");
             }
             for d in &action.allocs {
                 match arena.alloc(g.obj_size(*d)) {
                     Ok(off) => {
-                        local_addr.insert(d.0, off);
+                        net.local[d.idx()] = off;
                     }
                     Err(ArenaError::Fragmented { requested, .. }) => {
                         fail(ExecError::Fragmented { proc: p as u32, requested });
@@ -444,92 +641,94 @@ where
                             proc: p as u32,
                             position: pos,
                             needed: planner.in_use(),
-                            capacity,
+                            capacity: sh.capacity,
                         });
                         return (planner.maps(), planner.peak(), arena.peak());
                     }
                 }
             }
             next_map = action.next_map;
-            // Fill in offsets and assemble per-destination packages.
+            // Fill in offsets; notifications arrive pre-sorted by
+            // (destination, object), so one linear walk assembles one
+            // package per destination.
             for n in &mut action.notifies {
-                n.offset = local_addr[&n.obj];
+                n.offset = net.local[n.obj as usize];
             }
-            let mut by_dst: HashMap<u32, Vec<AddrEntry>> = HashMap::new();
-            for n in &action.notifies {
-                by_dst
-                    .entry(n.dst)
-                    .or_default()
-                    .push(AddrEntry { obj: n.obj, offset: n.offset });
-            }
-            let mut dsts: Vec<u32> = by_dst.keys().copied().collect();
-            dsts.sort_unstable();
-            for dst in dsts {
-                let mut pkg = by_dst.remove(&dst).expect("key present");
-                loop {
-                    match mailboxes.slot(p, dst as usize).try_send(pkg) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            pkg = back;
-                            // Blocked in MAP: keep servicing RA/CQ so the
-                            // system keeps evolving (Theorem 1).
-                            spin_service!();
-                        }
-                    }
+            let mut i = 0;
+            while i < action.notifies.len() {
+                let dst = action.notifies[i].dst;
+                pkg_buf.clear();
+                while i < action.notifies.len() && action.notifies[i].dst == dst {
+                    let n = action.notifies[i];
+                    pkg_buf.push(AddrEntry { obj: n.obj, offset: n.offset });
+                    i += 1;
                 }
+                while !sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
+                    // Blocked in MAP: keep servicing RA/CQ so the system
+                    // keeps evolving (Theorem 1).
+                    spin_service!();
+                }
+                pacer.mark();
             }
         }
 
         let t = order[pos as usize];
         // REC state: wait for every incoming message.
         for &mid in &plan.in_msgs[t.idx()] {
+            if flags.is_raised(mid as usize) {
+                continue; // fast path: already arrived
+            }
             while !flags.is_raised(mid as usize) {
                 spin_service!();
             }
+            pacer.mark();
         }
 
         // EXE state.
         {
             let writes_ids = g.writes(t);
-            let mut writes: Vec<(u32, &mut [f64])> = Vec::with_capacity(writes_ids.len());
-            let mut reads: Vec<(u32, &[f64])> = Vec::new();
             for &d in writes_ids {
                 let d = ObjId(d);
-                let off = resolve(d, &local_addr);
+                let off = net.resolve(d);
                 // SAFETY (module protocol): this task is the unique writer
                 // of `d` at this point of the dependence-complete
                 // schedule; readers have either consumed earlier versions
                 // or are ordered after us.
-                writes.push((d.0, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) }));
+                ctx_writes.push((d.0, unsafe { heaps[p].slice_mut(off, g.obj_size(d)) }));
             }
             for &d in g.reads(t) {
                 if writes_ids.binary_search(&d).is_ok() {
                     continue;
                 }
                 let d = ObjId(d);
-                let off = resolve(d, &local_addr);
+                let off = net.resolve(d);
                 // SAFETY: arrival flags have been observed with Acquire;
                 // no writer may touch this buffer until tasks ordered
                 // after us run.
-                reads.push((d.0, unsafe { heaps[p].slice(off, g.obj_size(d)) }));
+                ctx_reads.push((d.0, unsafe { heaps[p].slice(off, g.obj_size(d)) }));
             }
-            let mut ctx = TaskCtx { reads, writes };
-            body(t, &mut ctx);
+            let mut ctx = TaskCtx::assemble(
+                std::mem::take(&mut ctx_reads),
+                std::mem::take(&mut ctx_writes),
+                std::mem::take(&mut slots),
+            );
+            (sh.body)(t, &mut ctx);
+            (ctx_reads, ctx_writes, slots) = ctx.dismantle();
         }
 
         // SND state.
         for &mid in &plan.out_msgs[t.idx()] {
-            if !try_send(mid, &known, &local_addr) {
-                suspended.push(mid);
-            }
+            net.send_or_suspend(mid);
         }
-        ra(&mut known);
-        cq(&mut suspended, &known, &local_addr);
+        if net.service() {
+            pacer.mark();
+        }
         pos += 1;
+        pacer.mark();
     }
 
     // END state: drain the suspended queue.
-    while !suspended.is_empty() {
+    while net.suspended > 0 {
         spin_service!();
     }
     (planner.maps(), planner.peak(), arena.peak())
@@ -545,11 +744,7 @@ mod tests {
     /// A deterministic task body: every written buffer cell becomes
     /// `task_id + 1 + Σ(read buffers) + previous content`.
     fn test_body(t: TaskId, ctx: &mut TaskCtx<'_>) {
-        let acc: f64 = ctx
-            .reads
-            .iter()
-            .flat_map(|(_, s)| s.iter())
-            .sum();
+        let acc: f64 = ctx.reads.iter().flat_map(|(_, s)| s.iter()).sum();
         for (_, w) in ctx.writes.iter_mut() {
             for x in w.iter_mut() {
                 *x += t.0 as f64 + 1.0 + acc;
@@ -598,10 +793,7 @@ mod tests {
         // The deadlock-freedom (Theorem 1) stress: random irregular graphs
         // on 4 threads at exactly MIN_MEM, MPO order.
         for seed in 0..8u64 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
             let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
             let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
@@ -639,5 +831,114 @@ mod tests {
         let out = run_sequential(&g, test_body);
         assert_eq!(out[0], vec![6.0, 6.0, 6.0]);
         let _ = (t0, t1, t2);
+    }
+
+    #[test]
+    fn ctx_accessors_panic_on_wrong_set() {
+        let mut b = rapid_core::graph::TaskGraphBuilder::new();
+        let dr = b.add_object(1);
+        let dw = b.add_object(1);
+        let t0 = b.add_task(1.0, &[], &[dr]);
+        let t1 = b.add_task(1.0, &[dr], &[dw]);
+        b.add_edge(t0, t1);
+        let g = b.build().unwrap();
+        run_sequential(&g, |t, ctx| {
+            if t == t1 {
+                // Correct accesses work and are index-resolved.
+                assert_eq!(ctx.read(dr).len(), 1);
+                assert_eq!(ctx.write(dw).len(), 1);
+                // Wrong-set accesses panic.
+                assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ctx.read(dw);
+                }))
+                .is_err());
+                let unknown = ObjId(999);
+                assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ctx.read(unknown);
+                }))
+                .is_err());
+            }
+        });
+    }
+
+    /// Watchdog regression (satellite): a run whose *total* wall time far
+    /// exceeds the watchdog must complete as long as every individual
+    /// wait keeps seeing progress. Before the fix, `deadline` was
+    /// computed once up front and any sufficiently long run was falsely
+    /// poisoned as `Stalled`.
+    #[test]
+    fn long_steady_run_outlives_watchdog() {
+        use rapid_core::graph::TaskGraphBuilder;
+        use rapid_core::schedule::{Assignment, Schedule};
+        // A two-processor ping-pong chain: task i (on proc i % 2) writes
+        // object i and reads object i-1, so every task waits on the
+        // previous one across the machine.
+        let k = 30usize;
+        let mut b = TaskGraphBuilder::new();
+        let objs: Vec<_> = (0..k).map(|_| b.add_object(1)).collect();
+        let mut tasks = Vec::new();
+        for i in 0..k {
+            let reads: Vec<_> = if i == 0 { vec![] } else { vec![objs[i - 1]] };
+            let t = b.add_task(1.0, &reads, &[objs[i]]);
+            if i > 0 {
+                b.add_edge(tasks[i - 1], t);
+            }
+            tasks.push(t);
+        }
+        let g = b.build().unwrap();
+        let assign = Assignment {
+            task_proc: (0..k as u32).map(|i| i % 2).collect(),
+            owner: (0..k as u32).map(|i| i % 2).collect(),
+            nprocs: 2,
+        };
+        let order = vec![
+            tasks.iter().copied().step_by(2).collect(),
+            tasks.iter().copied().skip(1).step_by(2).collect(),
+        ];
+        let sched = Schedule { assign, order };
+        let mut exec = ThreadedExecutor::new(&g, &sched, 64);
+        // Each task sleeps 10 ms: total runtime ≈ 300 ms >> 120 ms
+        // watchdog, while each single wait stays well under it.
+        exec.watchdog = Duration::from_millis(120);
+        let out = exec
+            .run(|t, ctx| {
+                std::thread::sleep(Duration::from_millis(10));
+                test_body(t, ctx)
+            })
+            .expect("steady progress must never trip the watchdog");
+        assert!(out.wall > exec.watchdog, "test must outlive the watchdog");
+        assert_eq!(out.objects, run_sequential(&g, test_body));
+    }
+
+    /// A wait with no observable progress for longer than the watchdog
+    /// must still be detected: the progress-based deadline forgives long
+    /// runs, not long silences.
+    #[test]
+    fn genuine_stall_is_detected() {
+        use rapid_core::graph::TaskGraphBuilder;
+        use rapid_core::schedule::{Assignment, Schedule};
+        let mut b = TaskGraphBuilder::new();
+        let d0 = b.add_object(1);
+        let d1 = b.add_object(1);
+        let t0 = b.add_task(1.0, &[], &[d0]);
+        let t1 = b.add_task(1.0, &[d0], &[d1]);
+        b.add_edge(t0, t1);
+        let g = b.build().unwrap();
+        let assign = Assignment { task_proc: vec![0, 1], owner: vec![0, 1], nprocs: 2 };
+        let sched = Schedule { assign, order: vec![vec![t0], vec![t1]] };
+        let mut exec = ThreadedExecutor::new(&g, &sched, 16);
+        // P0 holds the d0 message hostage for far longer than the
+        // watchdog; P1's REC wait sees zero progress in that window.
+        exec.watchdog = Duration::from_millis(60);
+        let out = exec.run(|t, ctx| {
+            if t == t0 {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            test_body(t, ctx)
+        });
+        match out {
+            Err(ExecError::Stalled { .. }) => {}
+            other => panic!("expected Stalled, got {other:?}"),
+        }
     }
 }

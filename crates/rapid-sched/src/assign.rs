@@ -16,11 +16,7 @@ pub fn cyclic_owner_map(num_objects: usize, nprocs: usize) -> Vec<ProcId> {
 /// A task writing several objects follows the owner of its first written
 /// object; a task writing nothing follows the owner of its first read
 /// object (or processor 0 if it accesses nothing).
-pub fn owner_compute_assignment(
-    g: &TaskGraph,
-    owner: &[ProcId],
-    nprocs: usize,
-) -> Assignment {
+pub fn owner_compute_assignment(g: &TaskGraph, owner: &[ProcId], nprocs: usize) -> Assignment {
     assert_eq!(owner.len(), g.num_objects());
     assert!(owner.iter().all(|&p| (p as usize) < nprocs));
     let task_proc = g
@@ -44,11 +40,7 @@ pub fn owner_compute_assignment(
 /// processor. Returns `cluster -> processor`.
 pub fn lpt_cluster_map(cluster_work: &[f64], nprocs: usize) -> Vec<ProcId> {
     let mut idx: Vec<usize> = (0..cluster_work.len()).collect();
-    idx.sort_by(|&a, &b| {
-        cluster_work[b]
-            .total_cmp(&cluster_work[a])
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| cluster_work[b].total_cmp(&cluster_work[a]).then(a.cmp(&b)));
     let mut load = vec![0.0f64; nprocs];
     let mut map = vec![0 as ProcId; cluster_work.len()];
     for c in idx {
@@ -65,21 +57,14 @@ pub fn lpt_cluster_map(cluster_work: &[f64], nprocs: usize) -> Vec<ProcId> {
 /// to processors by LPT on total task weight; each object is owned by the
 /// processor of its first writer (falling back to its first reader, then
 /// round-robin for untouched objects).
-pub fn assignment_from_clusters(
-    g: &TaskGraph,
-    cluster_of: &[u32],
-    nprocs: usize,
-) -> Assignment {
+pub fn assignment_from_clusters(g: &TaskGraph, cluster_of: &[u32], nprocs: usize) -> Assignment {
     let nclusters = cluster_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
     let mut work = vec![0.0f64; nclusters];
     for t in g.tasks() {
         work[cluster_of[t.idx()] as usize] += g.weight(t);
     }
     let cmap = lpt_cluster_map(&work, nprocs);
-    let task_proc: Vec<ProcId> = g
-        .tasks()
-        .map(|t| cmap[cluster_of[t.idx()] as usize])
-        .collect();
+    let task_proc: Vec<ProcId> = g.tasks().map(|t| cmap[cluster_of[t.idx()] as usize]).collect();
     let mut owner = vec![ProcId::MAX; g.num_objects()];
     for d in g.objects() {
         if let Some(&w) = g.writers(d).first() {
@@ -122,9 +107,7 @@ pub fn is_owner_compute(g: &TaskGraph, assign: &Assignment) -> bool {
 /// Balanced block owner map helper used by the sparse workloads: object
 /// `i` of `n` is owned by `floor(i * p / n)`.
 pub fn block_owner_map(num_objects: usize, nprocs: usize) -> Vec<ProcId> {
-    (0..num_objects)
-        .map(|i| ((i * nprocs) / num_objects.max(1)) as ProcId)
-        .collect()
+    (0..num_objects).map(|i| ((i * nprocs) / num_objects.max(1)) as ProcId).collect()
 }
 
 /// Objects owned by each processor, as id lists.

@@ -83,7 +83,7 @@ pub fn dsc_cluster(g: &TaskGraph, cost: &CostModel) -> DscResult {
                     start = start.max(finish[r as usize] + c);
                 }
             }
-            if best.map_or(true, |(s, _)| start < s) {
+            if best.is_none_or(|(s, _)| start < s) {
                 best = Some((start, cq));
             }
         }
@@ -127,11 +127,7 @@ pub fn dsc_cluster(g: &TaskGraph, cost: &CostModel) -> DscResult {
         compact[t] = id;
     }
     let parallel_time = finish.iter().copied().fold(0.0f64, f64::max);
-    DscResult {
-        cluster_of: compact,
-        num_clusters: remap.len() as u32,
-        parallel_time,
-    }
+    DscResult { cluster_of: compact, num_clusters: remap.len() as u32, parallel_time }
 }
 
 #[cfg(test)]
@@ -215,10 +211,7 @@ mod tests {
     #[test]
     fn dsc_never_worse_than_sequential_on_random_graphs() {
         for seed in 0..6 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let r = dsc_cluster(&g, &CostModel::unit());
             let seq: f64 = g.tasks().map(|t| g.weight(t)).sum();
             assert!(r.parallel_time <= seq + 1e-9, "seed {seed}");

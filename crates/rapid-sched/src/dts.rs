@@ -28,12 +28,7 @@ struct DtsPolicy<'s> {
 }
 
 impl<'s> DtsPolicy<'s> {
-    fn new(
-        g: &TaskGraph,
-        assign: &Assignment,
-        slice_of_task: &'s [u32],
-        num_slices: u32,
-    ) -> Self {
+    fn new(g: &TaskGraph, assign: &Assignment, slice_of_task: &'s [u32], num_slices: u32) -> Self {
         let mut remaining = vec![vec![0u32; num_slices as usize]; assign.nprocs];
         for t in g.tasks() {
             remaining[assign.proc_of(t) as usize][slice_of_task[t.idx()] as usize] += 1;
@@ -151,10 +146,8 @@ pub fn dts_order_merged(
     let max_perm = perm.iter().copied().max().unwrap_or(0);
     let avail = capacity.saturating_sub(max_perm);
     let (merged_of, nmerged) = merge_slices(g, assign, &dcg, avail);
-    let slice_of_task: Vec<u32> = g
-        .tasks()
-        .map(|t| merged_of[dcg.slice_of_task[t.idx()] as usize])
-        .collect();
+    let slice_of_task: Vec<u32> =
+        g.tasks().map(|t| merged_of[dcg.slice_of_task[t.idx()] as usize]).collect();
     dts_order_with(g, assign, cost, &slice_of_task, nmerged)
 }
 
@@ -196,10 +189,7 @@ mod tests {
     fn theorem2_bound_holds_on_random_graphs() {
         // peak(p) <= perm(p) + h for every processor of a DTS schedule.
         for seed in 0..10 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = crate::assign::cyclic_owner_map(g.num_objects(), 3);
             let assign = crate::assign::owner_compute_assignment(&g, &owner, 3);
             let dcg = Dcg::build(&g);
@@ -247,10 +237,7 @@ mod tests {
         assert!(merged.is_valid(&g));
         let pt_strict = evaluate(&g, &cost, &strict).makespan;
         let pt_merged = evaluate(&g, &cost, &merged).makespan;
-        assert!(
-            pt_merged <= pt_strict + 1e-9,
-            "merged {pt_merged} vs strict {pt_strict}"
-        );
+        assert!(pt_merged <= pt_strict + 1e-9, "merged {pt_merged} vs strict {pt_strict}");
         // With unlimited capacity merged-DTS degenerates to RCP ordering.
         let rcp = rcp_order(&g, &assign, &cost);
         let pt_rcp = evaluate(&g, &cost, &rcp).makespan;
@@ -260,10 +247,7 @@ mod tests {
     #[test]
     fn merged_dts_respects_capacity_on_random_graphs() {
         for seed in 0..8 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = crate::assign::cyclic_owner_map(g.num_objects(), 3);
             let assign = crate::assign::owner_compute_assignment(&g, &owner, 3);
             // Capacity: strict-DTS requirement + a small slack; merged DTS

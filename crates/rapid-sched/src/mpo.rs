@@ -57,8 +57,7 @@ impl MpoPolicy {
 impl OrderPolicy for MpoPolicy {
     fn pick(&mut self, p: ProcId, ready: &[TaskId], ctx: &SimCtx<'_>) -> usize {
         let mut best = 0;
-        let mut best_key =
-            (self.mem_priority(p, ready[0], ctx), ctx.blevel[ready[0].idx()]);
+        let mut best_key = (self.mem_priority(p, ready[0], ctx), ctx.blevel[ready[0].idx()]);
         for (i, &t) in ready.iter().enumerate().skip(1) {
             let key = (self.mem_priority(p, t, ctx), ctx.blevel[t.idx()]);
             let better = key.0 > best_key.0
@@ -108,10 +107,7 @@ mod tests {
         let rcp = rcp_order(&g, &assign, &cost);
         let mm_mpo = min_mem(&g, &mpo).min_mem;
         let mm_rcp = min_mem(&g, &rcp).min_mem;
-        assert!(
-            mm_mpo <= mm_rcp,
-            "MPO ({mm_mpo}) must not need more memory than RCP ({mm_rcp})"
-        );
+        assert!(mm_mpo <= mm_rcp, "MPO ({mm_mpo}) must not need more memory than RCP ({mm_rcp})");
         // The paper's MPO schedule for this DAG needs 8 units.
         assert!(mm_mpo <= 8, "MPO MIN_MEM = {mm_mpo}");
     }
@@ -160,10 +156,7 @@ mod tests {
     #[test]
     fn mpo_valid_on_random_graphs() {
         for seed in 0..6 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = crate::assign::cyclic_owner_map(g.num_objects(), 4);
             let a = crate::assign::owner_compute_assignment(&g, &owner, 4);
             let s = mpo_order(&g, &a, &CostModel::unit());

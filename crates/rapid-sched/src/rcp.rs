@@ -69,11 +69,7 @@ mod tests {
         b.add_edge(long0, long1);
         b.add_edge(short0, short1);
         let g = b.build().unwrap();
-        let assign = Assignment {
-            task_proc: vec![0, 0, 0, 0],
-            owner: vec![0, 0, 0, 0],
-            nprocs: 1,
-        };
+        let assign = Assignment { task_proc: vec![0, 0, 0, 0], owner: vec![0, 0, 0, 0], nprocs: 1 };
         let s = rcp_order(&g, &assign, &CostModel::unit());
         assert_eq!(s.order[0][0], long0);
     }

@@ -75,9 +75,7 @@ pub fn simulate_ordering<P: OrderPolicy>(
     let blevel = algo::bottom_levels(g, cost, Some(assign));
     let mut arrival = vec![0.0f64; n];
     let mut finish = vec![0.0f64; n];
-    let mut indeg: Vec<u32> = (0..n)
-        .map(|t| g.preds(TaskId(t as u32)).len() as u32)
-        .collect();
+    let mut indeg: Vec<u32> = (0..n).map(|t| g.preds(TaskId(t as u32)).len() as u32).collect();
     let mut ready: Vec<Vec<TaskId>> = vec![Vec::new(); assign.nprocs];
     for t in g.tasks() {
         if indeg[t.idx()] == 0 {
@@ -99,20 +97,16 @@ pub fn simulate_ordering<P: OrderPolicy>(
                 continue;
             }
             let key = OrdF64(clock[p]);
-            if best.map_or(true, |(k, _)| key < k) {
+            if best.is_none_or(|(k, _)| key < k) {
                 best = Some((key, p));
             }
         }
-        let p = best
-            .expect("ordering simulation stalled: no processor has an eligible ready task")
-            .1;
+        let p =
+            best.expect("ordering simulation stalled: no processor has an eligible ready task").1;
         // Restrict the policy's view to eligible tasks.
         let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
-        let eligible: Vec<TaskId> = ready[p]
-            .iter()
-            .copied()
-            .filter(|&t| policy.eligible(p as ProcId, t, &ctx))
-            .collect();
+        let eligible: Vec<TaskId> =
+            ready[p].iter().copied().filter(|&t| policy.eligible(p as ProcId, t, &ctx)).collect();
         let t = eligible[policy.pick(p as ProcId, &eligible, &ctx)];
         let pos = ready[p].iter().position(|&x| x == t).expect("picked task is ready");
         ready[p].swap_remove(pos);
@@ -166,10 +160,7 @@ mod tests {
     #[test]
     fn fifo_on_random_graphs_is_valid() {
         for seed in 0..6 {
-            let g = fixtures::random_irregular_graph(
-                seed,
-                &fixtures::RandomGraphSpec::default(),
-            );
+            let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = crate::assign::cyclic_owner_map(g.num_objects(), 3);
             let a = crate::assign::owner_compute_assignment(&g, &owner, 3);
             let s = simulate_ordering(&g, &a, &CostModel::unit(), &mut Fifo);

@@ -98,8 +98,7 @@ pub fn supernode_partition(sym: &crate::symbolic::CholSymbolic, max_w: usize) ->
     let mut i = 1;
     while i < bounds.len() {
         let mut end = bounds[i];
-        while i + 1 < bounds.len() && bounds[i + 1] - *merged.last().expect("nonempty") <= max_w
-        {
+        while i + 1 < bounds.len() && bounds[i + 1] - *merged.last().expect("nonempty") <= max_w {
             i += 1;
             end = bounds[i];
         }
@@ -205,7 +204,7 @@ impl ProcGrid {
     pub fn new(p: usize) -> ProcGrid {
         assert!(p > 0);
         let mut rows = (p as f64).sqrt() as usize;
-        while rows > 1 && p % rows != 0 {
+        while rows > 1 && !p.is_multiple_of(rows) {
             rows -= 1;
         }
         ProcGrid { rows: rows.max(1), cols: p / rows.max(1) }
@@ -312,7 +311,7 @@ mod tests {
         assert_eq!((ProcGrid::new(7).rows, ProcGrid::new(7).cols), (1, 7));
         let g = ProcGrid::new(6);
         // Owners span all processors.
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for i in 0..6u32 {
             for j in 0..6u32 {
                 seen[g.owner(i, j) as usize] = true;

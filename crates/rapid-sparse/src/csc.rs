@@ -23,11 +23,7 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// Build from unordered `(row, col, value)` triplets; duplicate
     /// entries are summed.
-    pub fn from_triplets(
-        nrows: usize,
-        ncols: usize,
-        triplets: &[(u32, u32, f64)],
-    ) -> SparseMatrix {
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(u32, u32, f64)]) -> SparseMatrix {
         let mut count = vec![0usize; ncols + 1];
         for &(_, c, _) in triplets {
             count[c as usize + 1] += 1;
@@ -125,8 +121,7 @@ impl SparseMatrix {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
-        for c in 0..self.ncols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             for (i, &r) in self.col_rows(c).iter().enumerate() {
                 y[r as usize] += self.col_values(c)[i] * xc;
             }
@@ -256,6 +251,6 @@ mod tests {
         let d = a.to_dense();
         assert_eq!(d[0], 1.0);
         assert_eq!(d[2], 4.0); // col 0, row 2
-        assert_eq!(d[2 * 3 + 0], 2.0);
+        assert_eq!(d[2 * 3], 2.0); // col 2, row 0
     }
 }

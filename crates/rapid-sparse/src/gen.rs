@@ -237,9 +237,6 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(bcsstk_like(4, 4, 2, 11), bcsstk_like(4, 4, 2, 11));
         assert_eq!(goodwin_like(50, 4, 1, 9), goodwin_like(50, 4, 1, 9));
-        assert_ne!(
-            goodwin_like(50, 4, 1, 9).values,
-            goodwin_like(50, 4, 1, 10).values
-        );
+        assert_ne!(goodwin_like(50, 4, 1, 9).values, goodwin_like(50, 4, 1, 10).values);
     }
 }

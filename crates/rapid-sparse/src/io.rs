@@ -36,9 +36,7 @@ fn err(line: usize, msg: impl Into<String>) -> MmError {
 pub fn read_matrix_market<R: BufRead>(r: R) -> Result<SparseMatrix, MmError> {
     let mut lines = r.lines().enumerate();
     // Header.
-    let (ln, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty input"))?;
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     let header = header.map_err(|e| err(ln + 1, e.to_string()))?;
     let h = header.to_ascii_lowercase();
     if !h.starts_with("%%matrixmarket") {

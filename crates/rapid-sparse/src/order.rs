@@ -13,10 +13,10 @@ use crate::csc::SparseMatrix;
 fn adjacency(a: &SparseMatrix) -> Vec<Vec<u32>> {
     let s = if a.pattern_symmetric() { a.clone() } else { a.symmetrized() };
     let mut adj = vec![Vec::new(); s.ncols];
-    for c in 0..s.ncols {
+    for (c, ac) in adj.iter_mut().enumerate() {
         for &r in s.col_rows(c) {
             if r as usize != c {
-                adj[c].push(r);
+                ac.push(r);
             }
         }
     }
@@ -47,11 +47,8 @@ pub fn rcm(a: &SparseMatrix) -> Vec<u32> {
             let v = queue[head] as usize;
             head += 1;
             order.push(v as u32);
-            let mut nbrs: Vec<u32> = adj[v]
-                .iter()
-                .copied()
-                .filter(|&w| !visited[w as usize])
-                .collect();
+            let mut nbrs: Vec<u32> =
+                adj[v].iter().copied().filter(|&w| !visited[w as usize]).collect();
             nbrs.sort_by_key(|&w| deg[w as usize]);
             for w in nbrs {
                 if !visited[w as usize] {
@@ -127,11 +124,7 @@ pub fn min_degree(a: &SparseMatrix) -> Vec<u32> {
         eliminated[v] = true;
         order.push(v as u32);
         // Form the clique among v's uneliminated neighbours.
-        let live: Vec<u32> = nbrs[v]
-            .iter()
-            .copied()
-            .filter(|&w| !eliminated[w as usize])
-            .collect();
+        let live: Vec<u32> = nbrs[v].iter().copied().filter(|&w| !eliminated[w as usize]).collect();
         for (i, &w) in live.iter().enumerate() {
             let wi = w as usize;
             // Remove v, add the other clique members.
@@ -169,7 +162,7 @@ mod tests {
     fn rcm_is_a_permutation() {
         let a = gen::grid2d_laplacian(7, 5);
         let p = rcm(&a);
-        let mut seen = vec![false; 35];
+        let mut seen = [false; 35];
         for &v in &p {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;
@@ -181,7 +174,7 @@ mod tests {
     fn min_degree_is_a_permutation() {
         let a = gen::grid2d_laplacian(6, 6);
         let p = min_degree(&a);
-        let mut seen = vec![false; 36];
+        let mut seen = [false; 36];
         for &v in &p {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;
@@ -211,10 +204,7 @@ mod tests {
         let md = min_degree(&a);
         let fill_nat = fill_after(&a, &natural);
         let fill_md = fill_after(&a, &md);
-        assert!(
-            fill_md < fill_nat,
-            "min degree fill {fill_md} !< natural fill {fill_nat}"
-        );
+        assert!(fill_md < fill_nat, "min degree fill {fill_md} !< natural fill {fill_nat}");
     }
 
     #[test]

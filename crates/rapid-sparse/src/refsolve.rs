@@ -80,12 +80,7 @@ pub fn cholesky_solve(l: &[f64], b: &[f64]) -> Vec<f64> {
 /// Relative residual `‖A x − b‖₂ / (‖A‖_F ‖x‖₂ + ‖b‖₂)`.
 pub fn rel_residual(a: &SparseMatrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = a.spmv(x);
-    let rnorm = ax
-        .iter()
-        .zip(b)
-        .map(|(p, q)| (p - q) * (p - q))
-        .sum::<f64>()
-        .sqrt();
+    let rnorm = ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
     let xnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
     let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     rnorm / (a.fro_norm() * xnorm + bnorm).max(f64::MIN_POSITIVE)

@@ -174,6 +174,7 @@ mod tests {
     use crate::gen;
 
     /// Reference: dense symbolic Cholesky by elimination.
+    #[allow(clippy::needless_range_loop)] // symmetric m[r][c]/m[c][r] writes
     fn dense_fill(a: &SparseMatrix) -> Vec<Vec<bool>> {
         let n = a.ncols;
         let mut m = vec![vec![false; n]; n];
@@ -212,8 +213,8 @@ mod tests {
         }
         let a = SparseMatrix::from_triplets(n, n, &t);
         let p = etree(&a);
-        for j in 0..n - 1 {
-            assert_eq!(p[j], j as u32 + 1);
+        for (j, &pj) in p.iter().enumerate().take(n - 1) {
+            assert_eq!(pj, j as u32 + 1);
         }
         assert_eq!(p[n - 1], u32::MAX);
     }
@@ -223,12 +224,10 @@ mod tests {
         let a = gen::grid2d_laplacian(5, 4);
         let sym = cholesky_symbolic(&a);
         let dense = dense_fill(&a);
-        for j in 0..a.ncols {
-            let expect: Vec<u32> = (j..a.ncols)
-                .filter(|&i| dense[i][j])
-                .map(|i| i as u32)
-                .collect();
-            assert_eq!(sym.l_cols[j], expect, "column {j}");
+        for (j, lcol) in sym.l_cols.iter().enumerate() {
+            let expect: Vec<u32> =
+                (j..a.ncols).filter(|&i| dense[i][j]).map(|i| i as u32).collect();
+            assert_eq!(*lcol, expect, "column {j}");
         }
     }
 
@@ -265,6 +264,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dense elimination reference
     fn lu_static_is_pivot_safe_on_small_dense_check() {
         // For any row permutation P, struct(LU of PA) ⊆ static struct.
         // Exhaustively check a tiny matrix over a few permutations with
@@ -284,12 +284,8 @@ mod tests {
             ],
         );
         let stat = lu_static_symbolic(&a);
-        let perms: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2, 3],
-            vec![1, 0, 3, 2],
-            vec![3, 2, 1, 0],
-            vec![2, 3, 0, 1],
-        ];
+        let perms: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2], vec![3, 2, 1, 0], vec![2, 3, 0, 1]];
         for p in perms {
             // Dense LU pattern of PA without pivoting.
             let n = 4;

@@ -184,11 +184,8 @@ fn cholesky_2d_model_with(
             &[(dk, AccessKind::Update)],
         );
         kinds.push(CholTask::Fact { k });
-        let col: Vec<u32> = pattern.block_cols[k as usize]
-            .iter()
-            .copied()
-            .filter(|&i| i > k)
-            .collect();
+        let col: Vec<u32> =
+            pattern.block_cols[k as usize].iter().copied().filter(|&i| i > k).collect();
         for &i in &col {
             let hi = pattern.part.width(i as usize) as f64;
             let dik = obj_of_block[&(i, k)];
@@ -211,11 +208,7 @@ fn cholesky_2d_model_with(
                 if djk != dik {
                     acc.push((djk, AccessKind::Read));
                 }
-                tb.add_task_labeled(
-                    format!("Update({i},{j},{k})"),
-                    2.0 * hi * wj * wk,
-                    &acc,
-                );
+                tb.add_task_labeled(format!("Update({i},{j},{k})"), 2.0 * hi * wj * wk, &acc);
                 kinds.push(CholTask::Update { i, j, k });
             }
         }
@@ -223,24 +216,12 @@ fn cholesky_2d_model_with(
     let (graph, _) = tb.build(false).expect("cholesky trace builds");
     debug_assert_eq!(graph.num_tasks(), kinds.len());
     debug_assert_eq!(graph.num_objects(), block_of_obj.len());
-    CholeskyModel {
-        graph,
-        pattern,
-        obj_of_block,
-        block_of_obj,
-        kinds,
-        owner,
-        grid,
-        n,
-    }
+    CholeskyModel { graph, pattern, obj_of_block, block_of_obj, kinds, owner, grid, n }
 }
 
 impl CholeskyModel {
     /// Owner-side data initialization: load each block with `A`'s values.
-    pub fn init<'m>(
-        &'m self,
-        a: &'m SparseMatrix,
-    ) -> impl Fn(ObjId, &mut [f64]) + Sync + 'm {
+    pub fn init<'m>(&'m self, a: &'m SparseMatrix) -> impl Fn(ObjId, &mut [f64]) + Sync + 'm {
         move |d: ObjId, buf: &mut [f64]| {
             let (i, j) = self.block_of_obj[d.idx()];
             self.load_block(a, i, j, buf);
@@ -267,11 +248,7 @@ impl CholeskyModel {
                 let wj = self.pattern.part.width(j as usize);
                 let wk = self.pattern.part.width(k as usize);
                 let aik = ctx.read(self.obj_of_block[&(i, k)]);
-                let bjk = if i == j {
-                    aik
-                } else {
-                    ctx.read(self.obj_of_block[&(j, k)])
-                };
+                let bjk = if i == j { aik } else { ctx.read(self.obj_of_block[&(j, k)]) };
                 let buf = self.obj_buf_mut(ctx, i, j);
                 kernels::gemm_nt_sub(buf, hi, wj, aik, bjk, wk);
             }
@@ -291,8 +268,8 @@ impl CholeskyModel {
         for (cq, c) in cr.enumerate() {
             let rows = a.col_rows(c);
             let lo = rows.partition_point(|&r| (r as usize) < rr.start);
-            for x in lo..rows.len() {
-                let r = rows[x] as usize;
+            for (x, &rv) in rows.iter().enumerate().skip(lo) {
+                let r = rv as usize;
                 if r >= rr.end {
                     break;
                 }
@@ -379,7 +356,7 @@ pub fn lu_1d_model(a: &SparseMatrix, block_w: usize, nprocs: usize, numeric: boo
     let mut owner = Vec::with_capacity(nb);
     for k in 0..nb {
         let w = colpat.part.width(k);
-        let size = if numeric { (n * w + w) as u64 } else { colpat.nnz[k] } ;
+        let size = if numeric { (n * w + w) as u64 } else { colpat.nnz[k] };
         obj_of_block.push(tb.add_object(size.max(1)));
         owner.push((k % nprocs) as ProcId);
     }
@@ -420,18 +397,11 @@ pub fn lu_1d_model(a: &SparseMatrix, block_w: usize, nprocs: usize, numeric: boo
 impl LuModel {
     /// Owner-side data initialization: load each dense panel with `A`'s
     /// columns (numeric mode only).
-    pub fn init<'m>(
-        &'m self,
-        a: &'m SparseMatrix,
-    ) -> impl Fn(ObjId, &mut [f64]) + Sync + 'm {
+    pub fn init<'m>(&'m self, a: &'m SparseMatrix) -> impl Fn(ObjId, &mut [f64]) + Sync + 'm {
         assert!(self.numeric, "numeric init needs dense panels");
         let n = self.n;
         move |d: ObjId, buf: &mut [f64]| {
-            let k = self
-                .obj_of_block
-                .iter()
-                .position(|&o| o == d)
-                .expect("object is a panel");
+            let k = self.obj_of_block.iter().position(|&o| o == d).expect("object is a panel");
             let cr = self.colpat.part.range(k);
             buf.fill(0.0);
             for (cq, c) in cr.enumerate() {
@@ -596,8 +566,8 @@ mod tests {
         assert!(m.graph.num_tasks() > m.pattern.part.num_blocks() * 2);
         assert!(m.graph.is_dependence_complete());
         // Owner map spans the grid.
-        assert!(m.owner.iter().any(|&p| p == 0));
-        assert!(m.owner.iter().any(|&p| p == 3));
+        assert!(m.owner.contains(&0));
+        assert!(m.owner.contains(&3));
     }
 
     #[test]
@@ -694,9 +664,8 @@ mod tests {
         let a = a.permute_sym(&crate::order::min_degree(&a));
         let uni = cholesky_2d_model(&a, 12, 4);
         let sup = cholesky_2d_model_supernodal(&a, 12, 4);
-        let units = |m: &CholeskyModel| -> u64 {
-            m.graph.objects().map(|d| m.graph.obj_size(d)).sum()
-        };
+        let units =
+            |m: &CholeskyModel| -> u64 { m.graph.objects().map(|d| m.graph.obj_size(d)).sum() };
         assert!(
             (sup.graph.num_objects() as f64) < 1.5 * uni.graph.num_objects() as f64,
             "supernodal {} vs uniform {}",

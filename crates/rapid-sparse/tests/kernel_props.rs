@@ -1,8 +1,44 @@
-//! Property-based tests for the dense block kernels: factorizations must
-//! reconstruct their inputs for arbitrary well-conditioned matrices.
+//! Randomized tests for the dense block kernels: factorizations must
+//! reconstruct their inputs for arbitrary well-conditioned matrices, and
+//! the register-tiled paths must agree with the straight-loop references
+//! across odd, tile-straddling sizes.
+//!
+//! Cases come from a deterministic xorshift64* generator — no external
+//! property-testing dependency; a failure names its case index.
 
-use proptest::prelude::*;
 use rapid_sparse::kernels;
+
+const CASES: u64 = 64;
+
+/// xorshift64* — deterministic, dependency-free test-data generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn mat(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.f64()).collect()
+    }
+}
 
 /// Column-major `m × k` times `k × n`.
 fn matmul(a: &[f64], m: usize, k: usize, b: &[f64], n: usize) -> Vec<f64> {
@@ -27,21 +63,16 @@ fn transpose(a: &[f64], m: usize, n: usize) -> Vec<f64> {
     t
 }
 
-/// Strategy: an `n × n` matrix of bounded entries.
-fn square(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// potrf on G·Gᵀ + n·I recovers a factor whose product reproduces the
-    /// input to rounding.
-    #[test]
-    fn potrf_reconstructs(n in 2usize..12, g in square(12)) {
-        let g = &g[..n * n];
+/// potrf on G·Gᵀ + n·I recovers a factor whose product reproduces the
+/// input to rounding.
+#[test]
+fn potrf_reconstructs() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case);
+        let n = r.range(2, 12);
+        let g = r.mat(n * n);
         // SPD by construction.
-        let mut a = matmul(g, n, n, &transpose(g, n, n), n);
+        let mut a = matmul(&g, n, n, &transpose(&g, n, n), n);
         for i in 0..n {
             a[i * n + i] += n as f64;
         }
@@ -54,17 +85,24 @@ proptest! {
                 for p in 0..=i.min(j) {
                     v += a[p * n + i] * a[p * n + j];
                 }
-                prop_assert!((v - a0[j * n + i]).abs() < 1e-9 * (n as f64 + 1.0),
-                    "({i},{j}): {v} vs {}", a0[j * n + i]);
+                assert!(
+                    (v - a0[j * n + i]).abs() < 1e-9 * (n as f64 + 1.0),
+                    "case {case} ({i},{j}): {v} vs {}",
+                    a0[j * n + i]
+                );
             }
         }
     }
+}
 
-    /// getrf with partial pivoting reconstructs P·A = L·U for any
-    /// diagonally-boosted matrix.
-    #[test]
-    fn getrf_reconstructs(n in 2usize..10, g in square(10)) {
-        let mut a0 = g[..n * n].to_vec();
+/// getrf with partial pivoting reconstructs P·A = L·U for any
+/// diagonally-boosted matrix.
+#[test]
+fn getrf_reconstructs() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case ^ 0xdead);
+        let n = r.range(2, 10);
+        let mut a0 = r.mat(n * n);
         for i in 0..n {
             a0[i * n + i] += 3.0;
         }
@@ -72,10 +110,8 @@ proptest! {
         let mut piv = vec![0u32; n];
         kernels::getrf(&mut a, n, n, &mut piv).expect("nonsingular");
         for &p in &piv {
-            prop_assert!((p as usize) < n);
+            assert!((p as usize) < n, "case {case}");
         }
-        let mut pa = a0.clone();
-        kernels::laswp(&mut pa, n, 1, &piv);
         // laswp swaps rows of the whole block.
         let mut pa = a0;
         kernels::laswp(&mut pa, n, n, &piv);
@@ -86,16 +122,21 @@ proptest! {
                     let l = if i == p { 1.0 } else { a[p * n + i] };
                     v += l * a[j * n + p];
                 }
-                prop_assert!((v - pa[j * n + i]).abs() < 1e-8, "({i},{j})");
+                assert!((v - pa[j * n + i]).abs() < 1e-8, "case {case} ({i},{j})");
             }
         }
     }
+}
 
-    /// trsm_rlt inverts multiplication by Lᵀ from the right.
-    #[test]
-    fn trsm_rlt_inverts(n in 2usize..8, m in 1usize..6, g in square(8)) {
-        let g = &g[..n * n];
-        let mut l = matmul(g, n, n, &transpose(g, n, n), n);
+/// trsm_rlt inverts multiplication by Lᵀ from the right.
+#[test]
+fn trsm_rlt_inverts() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case ^ 0xbeef);
+        let n = r.range(2, 8);
+        let m = r.range(1, 6);
+        let g = r.mat(n * n);
+        let mut l = matmul(&g, n, n, &transpose(&g, n, n), n);
         for i in 0..n {
             l[i * n + i] += n as f64;
         }
@@ -112,13 +153,17 @@ proptest! {
         let mut x = b;
         kernels::trsm_rlt(&mut x, m, &l, n);
         for (got, want) in x.iter().zip(&x0) {
-            prop_assert!((got - want).abs() < 1e-8);
+            assert!((got - want).abs() < 1e-8, "case {case}");
         }
     }
+}
 
-    /// gemm_nt_sub is linear: applying it twice subtracts twice.
-    #[test]
-    fn gemm_accumulates_linearly(m in 1usize..6, n in 1usize..6, k in 1usize..6) {
+/// gemm_nt_sub is linear: applying it twice subtracts twice.
+#[test]
+fn gemm_accumulates_linearly() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case ^ 0xf00d);
+        let (m, n, k) = (r.range(1, 6), r.range(1, 6), r.range(1, 6));
         let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.7).sin()).collect();
         let b: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.3).cos()).collect();
         let mut c1 = vec![1.0; m * n];
@@ -127,8 +172,71 @@ proptest! {
         kernels::gemm_nt_sub(&mut c2, m, n, &a, &b, k);
         kernels::gemm_nt_sub(&mut c2, m, n, &a, &b, k);
         for (x1, x2) in c1.iter().zip(&c2) {
-            // c2 = 1 - 2*AB^T; c1 = 1 - AB^T => c2 - c1 = c1 - 1.
-            prop_assert!(((x2 - x1) - (x1 - 1.0)).abs() < 1e-12);
+            // c2 = 1 - 2·A·Bᵀ; c1 = 1 - A·Bᵀ => c2 - c1 = c1 - 1.
+            assert!(((x2 - x1) - (x1 - 1.0)).abs() < 1e-12, "case {case}");
+        }
+    }
+}
+
+/// The register-tiled GEMMs agree with the straight-loop references to
+/// 1e-10 across random odd sizes (tile-remainder edges included).
+#[test]
+fn tiled_gemms_agree_with_naive() {
+    for case in 0..CASES {
+        let mut r = Rng::new(case ^ 0xace);
+        let (m, n, k) = (r.range(1, 23), r.range(1, 23), r.range(1, 23));
+        let a = r.mat(m * k);
+        let bt = r.mat(n * k);
+        let c0 = r.mat(m * n);
+
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        kernels::gemm_nt_sub(&mut c1, m, n, &a, &bt, k);
+        kernels::gemm_nt_sub_naive(&mut c2, m, n, &a, &bt, k);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-10, "case {case} gemm_nt {m}x{n}x{k}");
+        }
+
+        let b = r.mat(k * n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        kernels::gemm_nn_sub(&mut c1, m, 0, m, n, &a, m, 0, &b, k, k);
+        kernels::gemm_nn_sub_naive(&mut c2, m, 0, m, n, &a, m, 0, &b, k, k);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-10, "case {case} gemm_nn {m}x{n}x{k}");
+        }
+    }
+}
+
+/// Blocked potrf agrees with the unblocked reference to 1e-10 on sizes
+/// straddling the panel width.
+#[test]
+fn blocked_potrf_agrees_with_unblocked() {
+    for case in 0..16 {
+        let mut r = Rng::new(case ^ 0xc0de);
+        let n = r.range(1, 71);
+        let g = r.mat(n * n);
+        let mut a = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let mut v = if i == j { n as f64 } else { 0.0 };
+                for p in 0..n {
+                    v += g[p * n + i] * g[p * n + j];
+                }
+                a[j * n + i] = v;
+            }
+        }
+        let mut blocked = a.clone();
+        let mut naive = a;
+        kernels::potrf(&mut blocked, n).unwrap();
+        kernels::potrf_unblocked(&mut naive, n).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (blocked[j * n + i] - naive[j * n + i]).abs() < 1e-10,
+                    "case {case} n={n} L({i},{j})"
+                );
+            }
         }
     }
 }

@@ -80,17 +80,10 @@ fn main() {
     // Inspector stage: objects are particle sets, monopole summaries and
     // force accumulators.
     let mut tb = TraceBuilder::new(WritePolicy::Rename);
-    let part: Vec<ObjId> = model
-        .particles
-        .iter()
-        .map(|p| tb.add_object(p.len() as u64))
-        .collect();
+    let part: Vec<ObjId> = model.particles.iter().map(|p| tb.add_object(p.len() as u64)).collect();
     let summ: Vec<ObjId> = (0..NCELLS).map(|_| tb.add_object(3)).collect();
-    let force: Vec<ObjId> = model
-        .particles
-        .iter()
-        .map(|p| tb.add_object(2 * (p.len() as u64 / 3)))
-        .collect();
+    let force: Vec<ObjId> =
+        model.particles.iter().map(|p| tb.add_object(2 * (p.len() as u64 / 3))).collect();
 
     #[derive(Clone, Copy)]
     enum Kind {
@@ -100,14 +93,14 @@ fn main() {
         Far(usize, usize),
     }
     let mut kinds: Vec<Kind> = Vec::new();
-    for c in 0..NCELLS {
-        tb.add_task(model.particles[c].len() as f64, &[(part[c], AccessKind::Write)]);
+    for (c, &pc) in part.iter().enumerate().take(NCELLS) {
+        tb.add_task(model.particles[c].len() as f64, &[(pc, AccessKind::Write)]);
         kinds.push(Kind::Load(c));
     }
-    for c in 0..NCELLS {
+    for (c, &pc) in part.iter().enumerate().take(NCELLS) {
         tb.add_task(
             model.particles[c].len() as f64,
-            &[(part[c], AccessKind::Read), (summ[c], AccessKind::Write)],
+            &[(pc, AccessKind::Read), (summ[c], AccessKind::Write)],
         );
         kinds.push(Kind::Summarize(c));
     }
@@ -155,10 +148,7 @@ fn main() {
     let assign = owner_compute_assignment(&g, &obj_owner, nprocs);
     let sched = mpo_order(&g, &assign, &CostModel::unit());
     let rep = min_mem(&g, &sched);
-    println!(
-        "MPO schedule: MIN_MEM = {} vs {} without recycling",
-        rep.min_mem, rep.tot_no_recycle
-    );
+    println!("MPO schedule: MIN_MEM = {} vs {} without recycling", rep.min_mem, rep.tot_no_recycle);
 
     let mref = &model;
     let kinds = &kinds;

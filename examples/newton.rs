@@ -30,11 +30,11 @@ fn f_val(a: &SparseMatrix, x: &[f64], b: &[f64]) -> Vec<f64> {
 fn jacobian(a: &SparseMatrix, x: &[f64]) -> SparseMatrix {
     // A + diag(3c x^2): same pattern as A (A has a full diagonal).
     let mut j = a.clone();
-    for c in 0..j.ncols {
+    for (c, &xc) in x.iter().enumerate().take(j.ncols) {
         let rows = j.col_ptr[c]..j.col_ptr[c + 1];
         for k in rows {
             if j.row_idx[k] as usize == c {
-                j.values[k] += 3.0 * C * x[c] * x[c];
+                j.values[k] += 3.0 * C * xc * xc;
             }
         }
     }

@@ -37,18 +37,15 @@ fn main() {
     let dts = dts_order(&g, &assign, &cost);
     for (name, s) in [("RCP", &rcp), ("MPO", &mpo), ("DTS", &dts)] {
         let rep = min_mem(&g, s);
-        println!(
-            "{name}: MIN_MEM = {} units (peak per proc {:?})",
-            rep.min_mem, rep.peak
-        );
+        println!("{name}: MIN_MEM = {} units (peak per proc {:?})", rep.min_mem, rep.peak);
     }
 
     // Execute the MPO schedule under a tight memory cap on the
     // discrete-event executor: watch MAPs appear.
     let mm = min_mem(&g, &mpo).min_mem;
     for cap in [100, mm] {
-        let out = des::run_managed(&g, &mpo, MachineConfig::unit(2, cap))
-            .expect("capacity >= MIN_MEM");
+        let out =
+            des::run_managed(&g, &mpo, MachineConfig::unit(2, cap)).expect("capacity >= MIN_MEM");
         println!(
             "DES at capacity {cap}: parallel time {}, #MAPs {:?}, peaks {:?}",
             out.parallel_time, out.maps, out.peak_mem
@@ -62,10 +59,7 @@ fn main() {
     // real buffers and one-sided puts; results must match a sequential
     // replay exactly.
     let body = |t: TaskId, ctx: &mut rapid::rt::TaskCtx<'_>| {
-        let acc: f64 = ctx
-            .read_ids()
-            .map(|d| ctx.read(d).iter().sum::<f64>())
-            .sum();
+        let acc: f64 = ctx.read_ids().map(|d| ctx.read(d).iter().sum::<f64>()).sum();
         let ids: Vec<_> = ctx.write_ids().collect();
         for d in ids {
             for x in ctx.write(d).iter_mut() {
@@ -76,8 +70,5 @@ fn main() {
     let exec = ThreadedExecutor::new(&g, &mpo, mm);
     let out = exec.run(body).expect("threaded run at exactly MIN_MEM");
     assert_eq!(out.objects, run_sequential(&g, body));
-    println!(
-        "threaded run at capacity {mm}: results match sequential, #MAPs {:?}",
-        out.maps
-    );
+    println!("threaded run at capacity {mm}: results match sequential, #MAPs {:?}", out.maps);
 }

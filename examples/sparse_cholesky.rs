@@ -40,9 +40,7 @@ fn main() {
     // Run at the recycling requirement — memory the original RAPID could
     // not have run in.
     let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem);
-    let out = exec
-        .run_with_init(model.body(), model.init(&a))
-        .expect("runs at MIN_MEM");
+    let out = exec.run_with_init(model.body(), model.init(&a)).expect("runs at MIN_MEM");
     println!(
         "threaded factorization done: #MAPs = {:?}, peak = {:?} units, wall = {:?}",
         out.maps, out.peak_mem, out.wall

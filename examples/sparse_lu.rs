@@ -31,9 +31,7 @@ fn main() {
     );
 
     let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem + 8);
-    let out = exec
-        .run_with_init(model.body(), model.init(&a))
-        .expect("runs near MIN_MEM");
+    let out = exec.run_with_init(model.body(), model.init(&a)).expect("runs near MIN_MEM");
     println!("threaded LU done: #MAPs = {:?}", out.maps);
 
     // Solve with the distributed factors (per-panel pivot vectors).
@@ -46,10 +44,6 @@ fn main() {
     // Cross-check against the dense reference factorization.
     let (f, piv) = refsolve::dense_lu(&a).expect("nonsingular");
     let x_ref = refsolve::lu_solve(&f, &piv, &b);
-    let max_diff = x
-        .iter()
-        .zip(&x_ref)
-        .map(|(p, q)| (p - q).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = x.iter().zip(&x_ref).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     println!("max |x - x_ref| = {max_diff:.3e}");
 }

@@ -112,11 +112,7 @@ fn main() {
             y_ref[r] -= l[c * n + r] * y_ref[c];
         }
     }
-    let max_diff = y_par
-        .iter()
-        .zip(&y_ref)
-        .map(|(p, q)| (p - q).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = y_par.iter().zip(&y_ref).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     println!("max |y_parallel − y_reference| = {max_diff:.3e}");
     assert!(max_diff < 1e-10);
     println!("#MAPs = {:?}", out.maps);

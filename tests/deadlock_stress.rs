@@ -12,10 +12,7 @@ use rapid::rt::{ExecError, TaskCtx};
 use rapid::sched::assign::cyclic_owner_map;
 
 fn body(t: TaskId, ctx: &mut TaskCtx<'_>) {
-    let acc: f64 = ctx
-        .read_ids()
-        .map(|d| ctx.read(d).iter().sum::<f64>())
-        .sum();
+    let acc: f64 = ctx.read_ids().map(|d| ctx.read(d).iter().sum::<f64>()).sum();
     let ids: Vec<_> = ctx.write_ids().collect();
     for d in ids {
         for (i, x) in ctx.write(d).iter_mut().enumerate() {
@@ -93,10 +90,7 @@ fn stress_commuting_graphs() {
     // integer-valued terms, results stay bitwise equal to the sequential
     // replay in any execution order.
     fn additive_body(t: TaskId, ctx: &mut TaskCtx<'_>) {
-        let acc: f64 = ctx
-            .read_ids()
-            .map(|d| ctx.read(d).iter().sum::<f64>())
-            .sum();
+        let acc: f64 = ctx.read_ids().map(|d| ctx.read(d).iter().sum::<f64>()).sum();
         let ids: Vec<_> = ctx.write_ids().collect();
         for d in ids {
             for x in ctx.write(d).iter_mut() {

@@ -50,11 +50,7 @@ fn dsc_beats_or_ties_round_robin_makespan() {
 
         let rr: Vec<u32> = g.tasks().map(|t| t.0 % 4).collect();
         let owner: Vec<u32> = (0..g.num_objects()).map(|i| (i % 4) as u32).collect();
-        let rr_assign = rapid::core::schedule::Assignment {
-            task_proc: rr,
-            owner,
-            nprocs: 4,
-        };
+        let rr_assign = rapid::core::schedule::Assignment { task_proc: rr, owner, nprocs: 4 };
         let rr_pt = evaluate(&g, &cost, &rcp_order(&g, &rr_assign, &cost)).makespan;
         if dsc_pt <= rr_pt * 1.05 {
             wins += 1;

@@ -60,10 +60,7 @@ fn pivoting_stays_processor_local() {
     let plan = rapid::rt::RtPlan::new(&model.graph, &sched);
     for msg in &plan.msgs {
         for &d in &msg.objs {
-            assert!(
-                model.obj_of_block.contains(&d),
-                "non-panel object crossed processors"
-            );
+            assert!(model.obj_of_block.contains(&d), "non-panel object crossed processors");
         }
     }
 }

@@ -36,10 +36,7 @@ fn check(seed: u64, nprocs: usize, cap_slack: u64) {
     };
 
     assert_eq!(des.maps, threaded.maps, "seed {seed}: MAP counts diverge");
-    assert_eq!(
-        des.peak_mem, threaded.peak_mem,
-        "seed {seed}: peak memory diverges"
-    );
+    assert_eq!(des.peak_mem, threaded.peak_mem, "seed {seed}: peak memory diverges");
 }
 
 #[test]

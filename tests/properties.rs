@@ -1,8 +1,12 @@
-//! Property-based tests over random irregular graphs: scheduling
+//! Randomized property tests over random irregular graphs: scheduling
 //! validity, the Definition-6 executability criterion, Theorem-2 bounds,
 //! DES determinism and monotonicity properties.
+//!
+//! Cases are drawn from a deterministic xorshift64* generator (no external
+//! property-testing dependency): every run covers the same spread of graph
+//! shapes, processor counts and commuting-mark densities, and a failure
+//! message names the case index for replay.
 
-use proptest::prelude::*;
 use rapid::core::dcg::Dcg;
 use rapid::core::fixtures::{random_irregular_graph, RandomGraphSpec};
 use rapid::core::memreq::min_mem;
@@ -12,40 +16,57 @@ use rapid::rt::ExecError;
 use rapid::sched::assign::cyclic_owner_map;
 use rapid::sched::dts::{dts_order_merged, merge_slices};
 
-fn spec_strategy() -> impl Strategy<Value = (u64, RandomGraphSpec, usize)> {
-    (
-        any::<u64>(),
-        4usize..32,
-        10usize..80,
-        1u64..6,
-        1usize..4,
-        0.0f64..0.8,
-        2usize..5,
-    )
-        .prop_map(|(seed, objects, tasks, max_obj_size, max_reads, update_prob, nprocs)| {
-            (
-                seed,
-                RandomGraphSpec {
-                    objects,
-                    tasks,
-                    max_obj_size,
-                    max_reads,
-                    update_prob,
-                    // Half the property runs exercise commuting marks.
-                    accum_prob: if seed % 2 == 0 { 0.5 } else { 0.0 },
-                    max_weight: 5.0,
-                },
-                nprocs,
-            )
-        })
+const CASES: u64 = 48;
+
+/// xorshift64* — deterministic, dependency-free case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// One randomized case: a graph seed, its shape, and a processor count —
+/// the same parameter spread the earlier property-based strategy drew.
+fn random_case(i: u64) -> (u64, RandomGraphSpec, usize) {
+    let mut r = Rng::new(i);
+    let seed = r.next();
+    let spec = RandomGraphSpec {
+        objects: r.range(4, 32) as usize,
+        tasks: r.range(10, 80) as usize,
+        max_obj_size: r.range(1, 6),
+        max_reads: r.range(1, 4) as usize,
+        update_prob: r.f64() * 0.8,
+        // Half the runs exercise commuting marks.
+        accum_prob: if seed.is_multiple_of(2) { 0.5 } else { 0.0 },
+        max_weight: 5.0,
+    };
+    let nprocs = r.range(2, 5) as usize;
+    (seed, spec, nprocs)
+}
 
-    /// All three orderings produce valid schedules covering every task.
-    #[test]
-    fn orderings_are_valid((seed, spec, nprocs) in spec_strategy()) {
+/// All three orderings produce valid schedules covering every task.
+#[test]
+fn orderings_are_valid() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
@@ -56,31 +77,39 @@ proptest! {
             dts_order(&g, &assign, &cost),
             dts_order_merged(&g, &assign, &cost, g.seq_space()),
         ] {
-            prop_assert!(sched.is_valid(&g));
+            assert!(sched.is_valid(&g), "case {i}");
         }
     }
+}
 
-    /// Definition 6: a schedule executes under capacity `c` iff
-    /// `c >= MIN_MEM` (counting allocator).
-    #[test]
-    fn executable_iff_min_mem((seed, spec, nprocs) in spec_strategy()) {
+/// Definition 6: a schedule executes under capacity `c` iff
+/// `c >= MIN_MEM` (counting allocator).
+#[test]
+fn executable_iff_min_mem() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
         let sched = mpo_order(&g, &assign, &CostModel::unit());
         let mm = min_mem(&g, &sched).min_mem;
         let ok = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm));
-        prop_assert!(ok.is_ok(), "failed at MIN_MEM: {:?}", ok.err());
+        assert!(ok.is_ok(), "case {i} failed at MIN_MEM: {:?}", ok.err());
         if mm > 0 {
             let bad = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm - 1));
-            let is_non_exec = matches!(bad, Err(ExecError::NonExecutable { .. }));
-            prop_assert!(is_non_exec);
+            assert!(
+                matches!(bad, Err(ExecError::NonExecutable { .. })),
+                "case {i}: below MIN_MEM must be non-executable"
+            );
         }
     }
+}
 
-    /// The DES is deterministic: two runs agree exactly.
-    #[test]
-    fn des_is_deterministic((seed, spec, nprocs) in spec_strategy()) {
+/// The DES is deterministic: two runs agree exactly.
+#[test]
+fn des_is_deterministic() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
@@ -88,15 +117,18 @@ proptest! {
         let mm = min_mem(&g, &sched).min_mem;
         let a = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm)).unwrap();
         let b = run_managed(&g, &sched, MachineConfig::unit(nprocs, mm)).unwrap();
-        prop_assert_eq!(a.parallel_time, b.parallel_time);
-        prop_assert_eq!(a.maps, b.maps);
-        prop_assert_eq!(a.finish, b.finish);
+        assert_eq!(a.parallel_time, b.parallel_time, "case {i}");
+        assert_eq!(a.maps, b.maps, "case {i}");
+        assert_eq!(a.finish, b.finish, "case {i}");
     }
+}
 
-    /// Theorem 2: a DTS schedule's per-processor peak is bounded by
-    /// perm(p) + h where h = max slice volatile requirement.
-    #[test]
-    fn dts_theorem2_bound((seed, spec, nprocs) in spec_strategy()) {
+/// Theorem 2: a DTS schedule's per-processor peak is bounded by
+/// perm(p) + h where h = max slice volatile requirement.
+#[test]
+fn dts_theorem2_bound() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
@@ -105,27 +137,32 @@ proptest! {
         let sched = dts_order(&g, &assign, &CostModel::unit());
         let rep = min_mem(&g, &sched);
         for p in 0..nprocs {
-            prop_assert!(
+            assert!(
                 rep.peak[p] <= rep.perm[p] + h,
-                "P{}: {} > {} + {}", p, rep.peak[p], rep.perm[p], h
+                "case {i} P{p}: {} > {} + {h}",
+                rep.peak[p],
+                rep.perm[p]
             );
         }
     }
+}
 
-    /// Slice merging respects the volatile budget: the merged schedule
-    /// needs no more than the strict-DTS requirement plus the budget.
-    #[test]
-    fn slice_merging_budget((seed, spec, nprocs) in spec_strategy()) {
+/// Slice merging respects the volatile budget: the merged schedule
+/// needs no more than the strict-DTS requirement plus the budget.
+#[test]
+fn slice_merging_budget() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
         let dcg = Dcg::build(&g);
         let budget = g.seq_space() / 2;
         let (merged_of, nmerged) = merge_slices(&g, &assign, &dcg, budget);
-        prop_assert!(nmerged <= dcg.num_slices);
+        assert!(nmerged <= dcg.num_slices, "case {i}");
         // Merged ids are monotone over slice ids (consecutive merging).
         for w in merged_of.windows(2) {
-            prop_assert!(w[0] == w[1] || w[0] + 1 == w[1]);
+            assert!(w[0] == w[1] || w[0] + 1 == w[1], "case {i}");
         }
         // Sum of H within each merged slice stays within budget (unless a
         // single slice already exceeds it).
@@ -135,15 +172,18 @@ proptest! {
         }
         for (ml, &s) in sums.iter().enumerate() {
             let single = merged_of.iter().filter(|&&x| x == ml as u32).count() == 1;
-            prop_assert!(s <= budget || single);
+            assert!(s <= budget || single, "case {i} merged slice {ml}");
         }
     }
+}
 
-    /// The memory-managed run never beats the unmanaged baseline on the
-    /// zero-overhead unit machine by more than float noise, and never
-    /// exceeds its memory.
-    #[test]
-    fn managed_vs_unmanaged_sanity((seed, spec, nprocs) in spec_strategy()) {
+/// The memory-managed run never beats the unmanaged baseline on the
+/// zero-overhead unit machine by more than float noise, and never
+/// exceeds its memory.
+#[test]
+fn managed_vs_unmanaged_sanity() {
+    for i in 0..CASES {
+        let (seed, spec, nprocs) = random_case(i);
         let g = random_irregular_graph(seed, &spec);
         let owner = cyclic_owner_map(g.num_objects(), nprocs);
         let assign = owner_compute_assignment(&g, &owner, nprocs);
@@ -152,12 +192,8 @@ proptest! {
         let machine = MachineConfig::unit(nprocs, rep.tot_no_recycle);
         let base = run_unmanaged(&g, &sched, machine.clone()).unwrap();
         let managed = run_managed(&g, &sched, machine).unwrap();
-        prop_assert!(managed.parallel_time >= base.parallel_time - 1e-9);
-        prop_assert!(managed
-            .peak_mem
-            .iter()
-            .zip(&base.peak_mem)
-            .all(|(m, b)| m <= b));
+        assert!(managed.parallel_time >= base.parallel_time - 1e-9, "case {i}");
+        assert!(managed.peak_mem.iter().zip(&base.peak_mem).all(|(m, b)| m <= b), "case {i}");
     }
 }
 
