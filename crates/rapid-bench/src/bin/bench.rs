@@ -1,11 +1,21 @@
 //! The performance snapshot binary: measures the threaded executor on
-//! standard fixtures and the tiled kernels against their straight-loop
-//! references, then writes `BENCH_executor.json` and
-//! `BENCH_kernels.json` into the current directory.
+//! standard fixtures, the tiled kernels against their straight-loop
+//! references, and the heap-driven ordering simulation against the
+//! straight-scan reference, then writes `BENCH_executor.json`,
+//! `BENCH_kernels.json` and `BENCH_scheduling.json` into the current
+//! directory.
 //!
 //! Run with `cargo run --release -p rapid-bench --bin bench`. The JSON is
 //! hand-assembled (no serialization dependency) and committed alongside
 //! the code so executor changes carry a before/after record.
+//!
+//! Flags:
+//!
+//! - `--only <executor|kernels|scheduling>` — run a single section
+//!   (repeatable);
+//! - `--check` — shape-invariant CI mode: shrunken problem sizes, no
+//!   perf assertions and no files written; exits non-zero if any section
+//!   produces an empty, non-finite or duplicated measurement.
 
 use rapid_bench::timing::{bench_ns, fmt_ns};
 use rapid_core::fixtures::{self, random_irregular_graph, RandomGraphSpec};
@@ -118,9 +128,10 @@ fn executor_report() -> Vec<Entry> {
     out
 }
 
-fn kernel_report() -> Vec<Entry> {
+fn kernel_report(check: bool) -> Vec<Entry> {
     let mut out = Vec::new();
-    for &n in &[32usize, 64, 96] {
+    let gemm_sizes: &[usize] = if check { &[32] } else { &[32, 64, 96] };
+    for &n in gemm_sizes {
         let a: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37).sin()).collect();
         let bt: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.21).cos()).collect();
         let c0: Vec<f64> = (0..n * n).map(|i| i as f64 * 1e-3).collect();
@@ -156,17 +167,18 @@ fn kernel_report() -> Vec<Entry> {
             );
         });
         report_pair(&mut out, "gemm_nn_sub", n, tiled, naive);
-
-        // SPD block for the factorizations.
-        let mut spd = vec![0.0; n * n];
-        for j in 0..n {
-            for i in 0..n {
-                spd[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
-            }
-        }
+    }
+    // The factorization pairs compare the blocked implementations
+    // directly against the straight-loop references (the public `potrf`
+    // and `getrf` entry points dispatch to the reference below their
+    // crossovers, where the comparison would measure nothing) — reported
+    // at sizes above each crossover, where the blocked path engages.
+    let potrf_sizes: &[usize] = if check { &[96] } else { &[96, 128, 192] };
+    for &n in potrf_sizes {
+        let spd = spd_block(n);
         let tiled = bench_ns(&mut || {
             let mut x = spd.clone();
-            kernels::potrf(std::hint::black_box(&mut x), n).unwrap();
+            kernels::potrf_blocked(std::hint::black_box(&mut x), n).unwrap();
         });
         let naive = bench_ns(&mut || {
             let mut x = spd.clone();
@@ -174,19 +186,13 @@ fn kernel_report() -> Vec<Entry> {
         });
         report_pair(&mut out, "potrf", n, tiled, naive);
     }
-    // getrf dispatches to the unblocked reference below the 3·NB
-    // crossover, so the pair is only meaningful at larger sizes.
-    for &n in &[128usize, 192] {
-        let mut spd = vec![0.0; n * n];
-        for j in 0..n {
-            for i in 0..n {
-                spd[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
-            }
-        }
+    let getrf_sizes: &[usize] = if check { &[96] } else { &[640, 768] };
+    for &n in getrf_sizes {
+        let spd = spd_block(n);
         let tiled = bench_ns(&mut || {
             let mut x = spd.clone();
             let mut piv = vec![0u32; n];
-            kernels::getrf(std::hint::black_box(&mut x), n, n, &mut piv).unwrap();
+            kernels::getrf_blocked(std::hint::black_box(&mut x), n, n, &mut piv).unwrap();
         });
         let naive = bench_ns(&mut || {
             let mut x = spd.clone();
@@ -194,6 +200,84 @@ fn kernel_report() -> Vec<Entry> {
             kernels::getrf_unblocked(std::hint::black_box(&mut x), n, n, &mut piv).unwrap();
         });
         report_pair(&mut out, "getrf", n, tiled, naive);
+    }
+    out
+}
+
+fn spd_block(n: usize) -> Vec<f64> {
+    let mut spd = vec![0.0; n * n];
+    for j in 0..n {
+        for i in 0..n {
+            spd[j * n + i] = if i == j { n as f64 + 1.0 } else { 0.5 / (1.0 + (i + j) as f64) };
+        }
+    }
+    spd
+}
+
+/// Heap-driven ordering simulation versus the straight-scan reference
+/// (paper §4.1, Figure 4) for the three orderings, on random irregular
+/// graphs of growing size. The heap path is the production one; the
+/// reference recomputes priorities by scanning the whole ready list at
+/// every pick, so the gap widens with task count.
+fn scheduling_report(check: bool) -> Vec<Entry> {
+    use rapid_sched::assign::{cyclic_owner_map, owner_compute_assignment};
+    use rapid_sched::{
+        dts_order, dts_order_reference, mpo_order, mpo_order_reference, rcp_order,
+        rcp_order_reference,
+    };
+
+    let mut out = Vec::new();
+    let sizes: &[usize] = if check { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let nprocs = 8;
+    for &tasks in sizes {
+        let spec = RandomGraphSpec {
+            objects: tasks / 4,
+            tasks,
+            max_obj_size: 4,
+            max_reads: 3,
+            update_prob: 0.35,
+            accum_prob: 0.05,
+            max_weight: 4.0,
+        };
+        let g = random_irregular_graph(2026, &spec);
+        let owner = cyclic_owner_map(g.num_objects(), nprocs);
+        let assign = owner_compute_assignment(&g, &owner, nprocs);
+        let cost = CostModel::unit();
+
+        type OrderFn = fn(
+            &rapid_core::graph::TaskGraph,
+            &rapid_sched::Assignment,
+            &CostModel,
+        ) -> rapid_core::schedule::Schedule;
+        let pairs: [(&str, OrderFn, OrderFn); 3] = [
+            ("rcp", rcp_order, rcp_order_reference),
+            ("mpo", mpo_order, mpo_order_reference),
+            ("dts", dts_order, dts_order_reference),
+        ];
+        for (name, heap_fn, ref_fn) in pairs {
+            let heap = bench_ns(&mut || {
+                std::hint::black_box(heap_fn(&g, &assign, &cost));
+            });
+            let reference = bench_ns(&mut || {
+                std::hint::black_box(ref_fn(&g, &assign, &cost));
+            });
+            let speedup = reference / heap;
+            println!(
+                "scheduling/{name}/{tasks}: heap {} reference {} speedup {speedup:.2}x",
+                fmt_ns(heap),
+                fmt_ns(reference)
+            );
+            out.push(Entry {
+                name: format!("{name}/{tasks}"),
+                ns: heap,
+                extra: vec![
+                    ("reference_ns_per_iter".into(), format!("{reference:.1}")),
+                    ("speedup".into(), format!("{speedup:.3}")),
+                    ("tasks".into(), tasks.to_string()),
+                    ("nprocs".into(), nprocs.to_string()),
+                ],
+            });
+        }
     }
     out
 }
@@ -215,12 +299,89 @@ fn report_pair(out: &mut Vec<Entry>, kernel: &str, n: usize, tiled: f64, naive: 
     });
 }
 
+/// Structural validation for `--check` mode: every section must produce
+/// at least one measurement, every measurement must be finite and
+/// positive, and names must be unique within a section.
+fn check_entries(section: &str, entries: &[Entry]) {
+    assert!(!entries.is_empty(), "check: section {section} produced no entries");
+    let mut names = std::collections::BTreeSet::new();
+    for e in entries {
+        assert!(!e.name.is_empty(), "check: {section} has an unnamed entry");
+        assert!(e.ns.is_finite() && e.ns > 0.0, "check: {section}/{} measured {} ns", e.name, e.ns);
+        assert!(names.insert(e.name.clone()), "check: {section}/{} duplicated", e.name);
+    }
+    // The JSON assembler must keep producing one object per entry.
+    let rendered = json(entries);
+    assert_eq!(
+        rendered.matches("\"ns_per_iter\"").count(),
+        entries.len(),
+        "check: {section} JSON shape drifted"
+    );
+}
+
 fn main() {
-    println!("== executor ==");
-    let exec = executor_report();
-    std::fs::write("BENCH_executor.json", json(&exec)).expect("write BENCH_executor.json");
-    println!("== kernels ==");
-    let kern = kernel_report();
-    std::fs::write("BENCH_kernels.json", json(&kern)).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_executor.json, BENCH_kernels.json");
+    let mut check = false;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--only" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--only needs a section: executor|kernels|scheduling");
+                    std::process::exit(2);
+                });
+                match v.as_str() {
+                    "executor" | "kernels" | "scheduling" => only.push(v),
+                    _ => {
+                        eprintln!("unknown section {v:?}: executor|kernels|scheduling");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("usage: bench [--check] [--only executor|kernels|scheduling]...");
+                std::process::exit(2);
+            }
+        }
+    }
+    let wants = |s: &str| only.is_empty() || only.iter().any(|o| o == s);
+
+    let mut written = Vec::new();
+    if wants("executor") {
+        println!("== executor ==");
+        let exec = executor_report();
+        if check {
+            check_entries("executor", &exec);
+        } else {
+            std::fs::write("BENCH_executor.json", json(&exec)).expect("write BENCH_executor.json");
+            written.push("BENCH_executor.json");
+        }
+    }
+    if wants("kernels") {
+        println!("== kernels ==");
+        let kern = kernel_report(check);
+        if check {
+            check_entries("kernels", &kern);
+        } else {
+            std::fs::write("BENCH_kernels.json", json(&kern)).expect("write BENCH_kernels.json");
+            written.push("BENCH_kernels.json");
+        }
+    }
+    if wants("scheduling") {
+        println!("== scheduling ==");
+        let sched = scheduling_report(check);
+        if check {
+            check_entries("scheduling", &sched);
+        } else {
+            std::fs::write("BENCH_scheduling.json", json(&sched))
+                .expect("write BENCH_scheduling.json");
+            written.push("BENCH_scheduling.json");
+        }
+    }
+    if check {
+        println!("check ok");
+    } else {
+        println!("wrote {}", written.join(", "));
+    }
 }

@@ -5,6 +5,24 @@
 use crate::graph::{Csr, TaskGraph, TaskId};
 use crate::schedule::{Assignment, CostModel};
 
+/// Totally ordered `f64` wrapper for priority keys (`total_cmp`
+/// semantics). Shared by the scheduling heaps (`rapid-sched`) and the
+/// discrete-event executor's event queue (`rapid-rt`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
 /// Kahn topological sort. Returns `None` if the graph has a cycle.
 pub fn topo_sort(g: &TaskGraph) -> Option<Vec<TaskId>> {
     let n = g.num_tasks();
@@ -281,6 +299,14 @@ mod tests {
                 assert!(comp[v] < comp[w as usize], "edge {v}->{w} violates comp order");
             }
         }
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = vec![OrdF64(3.0), OrdF64(1.0), OrdF64(2.0)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64(1.0), OrdF64(2.0), OrdF64(3.0)]);
+        assert!(OrdF64(f64::NEG_INFINITY) < OrdF64(0.0));
     }
 
     #[test]

@@ -86,34 +86,54 @@ impl Dcg {
         }
         let nn = obj_of_node.len();
 
-        // Rules 2 and 3: edges.
+        // Rules 2 and 3: edges. The paper's construction is a clique over
+        // each task's association set (rule 2) and the full product
+        // `assoc(T_x) × assoc(T_y)` per task edge (rule 3) — both
+        // quadratic in the association sizes. We emit a *linear* edge set
+        // with the identical condensation: a directed cycle through each
+        // association set makes its nodes strongly connected with |assoc|
+        // edges instead of |assoc|², and one representative edge
+        // `first(T_x) → first(T_y)` per task edge implies every product
+        // pair's reachability through those cycles. Total edges pushed is
+        // ≤ Σ|assoc| + |task edges|, so construction is O(V + E).
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nn];
+        // Stamp-based dedup of parallel edges, O(1) per edge.
+        let mut mark = vec![u32::MAX; nn];
+        let push_edge = |lists: &mut Vec<Vec<u32>>, mark: &mut Vec<u32>, u: u32, v: u32| {
+            if u != v && mark[v as usize] != u {
+                mark[v as usize] = u;
+                lists[u as usize].push(v);
+            }
+        };
         for t in g.tasks() {
             let a = &assoc[t.idx()];
-            // Rule 2: clique of doubly-directed edges.
-            for i in 0..a.len() {
-                for j in 0..a.len() {
-                    if i != j {
-                        let u = node_of_obj[a[i].idx()];
-                        let v = node_of_obj[a[j].idx()];
-                        lists[u as usize].push(v);
-                    }
+            // Rule 2: cycle through the association set (same SCC as the
+            // paper's clique).
+            if a.len() > 1 {
+                for i in 0..a.len() {
+                    let u = node_of_obj[a[i].idx()];
+                    let v = node_of_obj[a[(i + 1) % a.len()].idx()];
+                    // The stamp dedups per-source; cycle edges from
+                    // different tasks may share a source, which is fine.
+                    push_edge(&mut lists, &mut mark, u, v);
                 }
             }
-            // Rule 3: project task edges.
-            for &s in g.succs(t) {
-                let s = TaskId(s);
-                for &di in &assoc[t.idx()] {
-                    for &dj in &assoc[s.idx()] {
-                        if di != dj {
-                            let u = node_of_obj[di.idx()];
-                            let v = node_of_obj[dj.idx()];
-                            lists[u as usize].push(v);
-                        }
+            // Rule 3: one representative edge per projected task edge; the
+            // rule-2 cycles extend it to every association pair.
+            if let Some(&di) = assoc[t.idx()].first() {
+                for &s in g.succs(t) {
+                    if let Some(&dj) = assoc[s as usize].first() {
+                        let u = node_of_obj[di.idx()];
+                        let v = node_of_obj[dj.idx()];
+                        push_edge(&mut lists, &mut mark, u, v);
                     }
                 }
             }
         }
+        // `mark` dedups only consecutive same-source pushes; remove the
+        // remaining parallel edges per row (rows stay small and the total
+        // is linear, so the sort costs O(E log E) worst case on an
+        // already-linear E).
         for l in &mut lists {
             l.sort_unstable();
             l.dedup();
@@ -276,6 +296,57 @@ mod tests {
         let nb = dcg.node_of_obj[db.idx()];
         assert_eq!(dcg.slice_of_node[na as usize], dcg.slice_of_node[nb as usize]);
         assert!(!dcg.is_acyclic());
+    }
+
+    #[test]
+    fn dcg_edge_count_is_linear_in_input() {
+        // The construction must stay O(V + E): edges ≤ Σ|assoc| (rule-2
+        // cycles) + task edges (one representative each), never the
+        // quadratic clique/product blowup.
+        for seed in 0..8 {
+            let spec = fixtures::RandomGraphSpec {
+                objects: 40,
+                tasks: 200,
+                max_reads: 6,
+                ..Default::default()
+            };
+            let g = fixtures::random_irregular_graph(seed, &spec);
+            let dcg = Dcg::build(&g);
+            let assoc_total: usize = g
+                .tasks()
+                .map(|t| g.accesses(t).filter(|&d| dcg.node_of_obj[d.idx()] != u32::MAX).count())
+                .sum();
+            let bound = assoc_total + g.num_edges();
+            assert!(
+                dcg.adj.num_edges() <= bound,
+                "seed {seed}: {} DCG edges > linear bound {bound}",
+                dcg.adj.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_assoc_cycle_matches_clique_semantics() {
+        // Three objects associated with one task must land in one SCC via
+        // the linear cycle construction, exactly as the paper's clique.
+        let mut b = TaskGraphBuilder::new();
+        let ds: Vec<_> = (0..3).map(|_| b.add_object(1)).collect();
+        let out = b.add_object(1);
+        let ws: Vec<_> = ds.iter().map(|&d| b.add_task(1.0, &[], &[d])).collect();
+        let r = b.add_task(1.0, &ds, &[out]);
+        for &w in &ws {
+            b.add_edge(w, r);
+        }
+        let g = b.build().unwrap();
+        let dcg = Dcg::build(&g);
+        let s0 = dcg.slice_of_node[dcg.node_of_obj[ds[0].idx()] as usize];
+        for &d in &ds[1..] {
+            assert_eq!(dcg.slice_of_node[dcg.node_of_obj[d.idx()] as usize], s0);
+        }
+        // Writers' slices precede the readers' merged slice.
+        for &w in &ws {
+            assert!(dcg.slice_of_task[w.idx()] <= dcg.slice_of_task[r.idx()]);
+        }
     }
 
     #[test]

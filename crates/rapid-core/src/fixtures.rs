@@ -242,6 +242,9 @@ pub fn random_irregular_graph(seed: u64, spec: &RandomGraphSpec) -> TaskGraph {
     let objs: Vec<ObjId> =
         (0..spec.objects).map(|_| tb.add_object(1 + rng.below(spec.max_obj_size))).collect();
     let mut written: Vec<ObjId> = Vec::new();
+    // O(1) membership alongside the ordered list, so generation stays
+    // linear at the bench sizes (10⁵⁺ tasks).
+    let mut is_written = vec![false; spec.objects];
     for i in 0..spec.tasks {
         let weight = 1.0 + rng.unit_f64() * (spec.max_weight - 1.0);
         let mut acc: Vec<(ObjId, AccessKind)> = Vec::new();
@@ -268,7 +271,8 @@ pub fn random_irregular_graph(seed: u64, spec: &RandomGraphSpec) -> TaskGraph {
         acc.retain(|&(d, _)| d != out);
         acc.push((out, kind));
         tb.add_task(weight, &acc);
-        if !written.contains(&out) {
+        if !is_written[out.idx()] {
+            is_written[out.idx()] = true;
             written.push(out);
         }
     }

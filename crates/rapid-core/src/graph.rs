@@ -114,6 +114,11 @@ pub struct TaskGraph {
     readers: Csr,
     /// Tasks writing each object (transpose of `writes`).
     writers: Csr,
+    /// Tasks accessing each object at all (transpose of the merged
+    /// read∪write access relation, deduplicated). The reverse index the
+    /// incremental MPO priority maintenance walks when an object is
+    /// allocated.
+    accessors: Csr,
     task_weight: Vec<f64>,
     obj_size: Vec<u64>,
     task_label: Vec<String>,
@@ -192,6 +197,14 @@ impl TaskGraph {
     #[inline]
     pub fn writers(&self, d: ObjId) -> &[u32] {
         self.writers.row(d.idx())
+    }
+
+    /// Tasks that read *or* write object `d` (sorted, each task once even
+    /// when it both reads and writes `d`). Built once at graph
+    /// construction in O(Σ access-set sizes).
+    #[inline]
+    pub fn accessors(&self, d: ObjId) -> &[u32] {
+        self.accessors.row(d.idx())
     }
 
     /// Computational weight of task `t` (in abstract time units or flops).
@@ -480,6 +493,41 @@ impl TaskGraphBuilder {
             l.sort_unstable();
             l.dedup();
         }
+        // Accessor transpose: tasks are visited in ascending id order and
+        // the per-task read/write sets are already sorted+deduped, so a
+        // sorted merge keeps each per-object list sorted and duplicate-free
+        // without a final sort pass.
+        let mut accessor_lists = vec![Vec::new(); m];
+        for t in 0..n {
+            let (rs, ws) = (&reads[t], &writes[t]);
+            let (mut i, mut j) = (0, 0);
+            while i < rs.len() || j < ws.len() {
+                let d = match (rs.get(i), ws.get(j)) {
+                    (Some(&r), Some(&w)) => {
+                        if r <= w {
+                            i += 1;
+                            if r == w {
+                                j += 1;
+                            }
+                            r
+                        } else {
+                            j += 1;
+                            w
+                        }
+                    }
+                    (Some(&r), None) => {
+                        i += 1;
+                        r
+                    }
+                    (None, Some(&w)) => {
+                        j += 1;
+                        w
+                    }
+                    (None, None) => unreachable!(),
+                };
+                accessor_lists[d as usize].push(t as u32);
+            }
+        }
         let mut commute_group = vec![u32::MAX; n];
         for &(t, grp) in &self.commute {
             if t as usize >= n {
@@ -496,6 +544,7 @@ impl TaskGraphBuilder {
             writes: Csr::from_lists(&writes),
             readers: Csr::from_lists(&reader_lists),
             writers: Csr::from_lists(&writer_lists),
+            accessors: Csr::from_lists(&accessor_lists),
             task_weight: self.task_weight,
             obj_size: self.obj_size,
             task_label: self.task_label,
@@ -558,6 +607,33 @@ mod tests {
         let t0 = b.add_task(1.0, &[], &[]);
         b.add_edge(t0, TaskId(9));
         assert_eq!(b.build().unwrap_err(), GraphError::BadTask(9));
+    }
+
+    #[test]
+    fn accessors_transpose_matches_accesses() {
+        let mut b = TaskGraphBuilder::new();
+        let d0 = b.add_object(1);
+        let d1 = b.add_object(1);
+        let d2 = b.add_object(1);
+        let _t0 = b.add_task(1.0, &[d0, d1], &[d1]); // reads+writes d1: once
+        let t1 = b.add_task(1.0, &[], &[d2]);
+        let t2 = b.add_task(1.0, &[d2], &[d0]);
+        b.add_edge(t1, t2);
+        let g = b.build().unwrap();
+        assert_eq!(g.accessors(d0), &[0, 2]);
+        assert_eq!(g.accessors(d1), &[0]);
+        assert_eq!(g.accessors(d2), &[1, 2]);
+        // accessors is exactly the transpose of accesses().
+        for d in g.objects() {
+            for &t in g.accessors(d) {
+                assert!(g.accesses(TaskId(t)).any(|x| x == d));
+            }
+        }
+        for t in g.tasks() {
+            for d in g.accesses(t) {
+                assert!(g.accessors(d).binary_search(&t.0).is_ok());
+            }
+        }
     }
 
     #[test]

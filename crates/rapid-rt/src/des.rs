@@ -14,6 +14,7 @@
 //! available and without any memory managing overhead").
 
 use crate::maps::{ExecError, MapPlanner, MapWindow, RtPlan};
+use rapid_core::algo::OrdF64;
 use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::Schedule;
 use rapid_machine::config::MachineConfig;
@@ -106,17 +107,6 @@ enum Phase {
     End,
     /// Finished.
     Done,
-}
-
-/// Ordered f64 key for the event heap.
-#[derive(PartialEq, PartialOrd)]
-struct Key(f64);
-impl Eq for Key {}
-#[allow(clippy::derive_ord_xor_partial_ord)]
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
 }
 
 struct ProcState {
@@ -215,13 +205,15 @@ impl<'a> DesExecutor<'a> {
             vec![(0..nprocs).map(|_| VecDeque::new()).collect(); nprocs];
         let mut peak_queued = 0usize;
 
-        let mut events: BinaryHeap<Reverse<(Key, u64, u32)>> = BinaryHeap::new();
+        let mut events: BinaryHeap<Reverse<(OrdF64, u64, u32)>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let push =
-            |events: &mut BinaryHeap<Reverse<(Key, u64, u32)>>, seq: &mut u64, t: f64, p: u32| {
-                *seq += 1;
-                events.push(Reverse((Key(t), *seq, p)));
-            };
+        let push = |events: &mut BinaryHeap<Reverse<(OrdF64, u64, u32)>>,
+                    seq: &mut u64,
+                    t: f64,
+                    p: u32| {
+            *seq += 1;
+            events.push(Reverse((OrdF64(t), *seq, p)));
+        };
         for p in 0..nprocs as u32 {
             push(&mut events, &mut seq, 0.0, p);
         }
@@ -232,7 +224,7 @@ impl<'a> DesExecutor<'a> {
         let mut addr_pkgs_sent = 0usize;
         let mut suspended_ever: HashSet<u32> = HashSet::new();
 
-        while let Some(Reverse((Key(t), _, p))) = events.pop() {
+        while let Some(Reverse((OrdF64(t), _, p))) = events.pop() {
             let pi = p as usize;
             if procs[pi].phase == Phase::Done {
                 continue;

@@ -10,8 +10,8 @@
 //! (`tlevel`), otherwise it opens its own cluster. Clusters execute their
 //! tasks sequentially in examination order.
 
-use crate::sim::OrdF64;
 use rapid_core::algo;
+use rapid_core::algo::OrdF64;
 use rapid_core::graph::{TaskGraph, TaskId};
 use rapid_core::schedule::CostModel;
 use std::collections::BinaryHeap;

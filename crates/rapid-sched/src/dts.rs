@@ -13,7 +13,8 @@
 //! the scheduler more critical-path freedom and recovering most of RCP's
 //! time efficiency (Table 7).
 
-use crate::sim::{simulate_ordering, OrderPolicy, SimCtx};
+use crate::heapsim::{simulate_ordering_heap, HeapPolicy};
+use crate::sim::{simulate_ordering_reference, OrdF64, OrderPolicy, SimCtx};
 use rapid_core::dcg::Dcg;
 use rapid_core::graph::{ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
@@ -77,10 +78,60 @@ impl OrderPolicy for DtsPolicy<'_> {
     }
 }
 
-/// Order tasks by DTS over the raw (unmerged) slices of the DCG.
+/// Heap twin of [`DtsPolicy`]: the slice gating moves into the
+/// simulator's parked/active heap machinery (`heapsim` parks ready tasks
+/// of future slices and drains them when the processor's lowest
+/// incomplete slice advances), so eligibility is a heap transfer instead
+/// of a per-step filter pass. Within a slice the key is the static
+/// critical-path priority, exactly as RCP.
+struct DtsHeapPolicy<'s> {
+    slice_of_task: &'s [u32],
+    num_slices: u32,
+}
+
+impl HeapPolicy for DtsHeapPolicy<'_> {
+    type Key = OrdF64;
+
+    #[inline]
+    fn key(&self, t: TaskId, ctx: &SimCtx<'_>) -> OrdF64 {
+        OrdF64(ctx.blevel[t.idx()])
+    }
+
+    #[inline]
+    fn slice_of(&self, t: TaskId) -> u32 {
+        self.slice_of_task[t.idx()]
+    }
+
+    #[inline]
+    fn num_slices(&self) -> u32 {
+        self.num_slices
+    }
+}
+
+/// Order tasks by DTS over the raw (unmerged) slices of the DCG
+/// (heap-driven; order-for-order identical to [`dts_order_reference`]).
 pub fn dts_order(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
     let dcg = Dcg::build(g);
     dts_order_with(g, assign, cost, &dcg.slice_of_task, dcg.num_slices)
+}
+
+/// Straight-scan reference implementation of [`dts_order`], kept for
+/// validation and benchmarking against the heap path.
+pub fn dts_order_reference(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
+    let dcg = Dcg::build(g);
+    dts_order_with_reference(g, assign, cost, &dcg.slice_of_task, dcg.num_slices)
+}
+
+/// Straight-scan reference implementation of [`dts_order_with`].
+pub fn dts_order_with_reference(
+    g: &TaskGraph,
+    assign: &Assignment,
+    cost: &CostModel,
+    slice_of_task: &[u32],
+    num_slices: u32,
+) -> Schedule {
+    let mut policy = DtsPolicy::new(g, assign, slice_of_task, num_slices);
+    simulate_ordering_reference(g, assign, cost, &mut policy)
 }
 
 /// Order tasks by DTS over an explicit task→slice map (used after
@@ -92,8 +143,8 @@ pub fn dts_order_with(
     slice_of_task: &[u32],
     num_slices: u32,
 ) -> Schedule {
-    let mut policy = DtsPolicy::new(g, assign, slice_of_task, num_slices);
-    simulate_ordering(g, assign, cost, &mut policy)
+    let mut policy = DtsHeapPolicy { slice_of_task, num_slices };
+    simulate_ordering_heap(g, assign, cost, &mut policy)
 }
 
 /// The slice-merging algorithm of Figure 6: walk the slices in topological

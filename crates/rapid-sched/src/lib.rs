@@ -18,18 +18,26 @@
 //!      connection graph's strongly connected components, plus the
 //!      slice-merging refinement of Figure 6.
 
+//!
+//! Each ordering ships two implementations with proven-identical output:
+//! a production heap-driven simulation ([`heapsim`], incremental
+//! priorities with lazy-deletion heaps) and the straight-scan reference
+//! ([`sim`]) the paper's pseudo-code transcribes — see
+//! `BENCH_scheduling.json` for the measured gap.
+
 #![warn(missing_docs)]
 
 pub mod assign;
 pub mod dsc;
 pub mod dts;
+pub mod heapsim;
 pub mod mpo;
 pub mod rcp;
 pub mod sim;
 
 pub use assign::{cyclic_owner_map, lpt_cluster_map, owner_compute_assignment};
 pub use dsc::{dsc_cluster, DscResult};
-pub use dts::{dts_order, dts_order_merged, merge_slices};
-pub use mpo::mpo_order;
+pub use dts::{dts_order, dts_order_merged, dts_order_reference, merge_slices};
+pub use mpo::{mpo_order, mpo_order_reference};
 pub use rapid_core::schedule::Assignment;
-pub use rcp::rcp_order;
+pub use rcp::{rcp_order, rcp_order_reference};

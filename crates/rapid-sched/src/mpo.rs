@@ -13,7 +13,8 @@
 //! The goal is to reference volatile objects as early as possible after
 //! they materialize, shortening their lifetimes and reducing `MIN_MEM`.
 
-use crate::sim::{simulate_ordering, OrderPolicy, SimCtx};
+use crate::heapsim::{simulate_ordering_heap, HeapPolicy};
+use crate::sim::{simulate_ordering_reference, OrdF64, OrderPolicy, SimCtx};
 use rapid_core::graph::{ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 
@@ -84,10 +85,106 @@ impl OrderPolicy for MpoPolicy {
     }
 }
 
-/// Order the tasks of each processor by the MPO heuristic.
+/// Heap twin of [`MpoPolicy`] with *incremental* memory priorities.
+///
+/// The reference recomputes `have/total` over every ready task's whole
+/// access set at every pick. Here each task carries a `have` counter of
+/// its accesses currently satisfied on its processor (local objects plus
+/// volatile copies allocated so far). When a task's scheduling allocates
+/// a volatile object, only the tasks that actually access that object —
+/// found through the graph's object→tasks reverse index
+/// ([`TaskGraph::accessors`], built once in O(Σ access sets)) — get their
+/// counters bumped and are reported dirty for heap reinsertion. An
+/// allocation therefore costs O(|accessors|·log V) instead of a full
+/// ready-list rescan, and `have/total` ratios only ever grow, which keeps
+/// stale heap entries strictly below live ones.
+struct MpoHeapPolicy {
+    /// `allocated[d * nprocs + p]`: volatile copy of `d` present on `p`.
+    allocated: Vec<bool>,
+    nprocs: usize,
+    /// Per-task count of accesses currently satisfied on the task's
+    /// processor (equals the reference's pick-time `have` recount).
+    have: Vec<u32>,
+    /// Per-task total access count (static).
+    total: Vec<u32>,
+}
+
+impl MpoHeapPolicy {
+    fn new(g: &TaskGraph, assign: &Assignment) -> Self {
+        let n = g.num_tasks();
+        let mut have = vec![0u32; n];
+        let mut total = vec![0u32; n];
+        for t in g.tasks() {
+            let p = assign.proc_of(t);
+            for d in g.accesses(t) {
+                total[t.idx()] += 1;
+                if assign.owner_of(d) == p {
+                    have[t.idx()] += 1;
+                }
+            }
+        }
+        MpoHeapPolicy {
+            allocated: vec![false; g.num_objects() * assign.nprocs],
+            nprocs: assign.nprocs,
+            have,
+            total,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, p: ProcId, d: u32) -> usize {
+        d as usize * self.nprocs + p as usize
+    }
+}
+
+impl HeapPolicy for MpoHeapPolicy {
+    type Key = (OrdF64, OrdF64);
+
+    #[inline]
+    fn key(&self, t: TaskId, ctx: &SimCtx<'_>) -> (OrdF64, OrdF64) {
+        // Must match the reference's `mem_priority` bit for bit: same
+        // integer counts, same division.
+        let total = self.total[t.idx()];
+        let pri = if total == 0 { 1.0 } else { self.have[t.idx()] as f64 / total as f64 };
+        (OrdF64(pri), OrdF64(ctx.blevel[t.idx()]))
+    }
+
+    fn on_scheduled(&mut self, t: TaskId, ctx: &SimCtx<'_>, dirty: &mut Vec<TaskId>) {
+        // Figure 4, line 4: allocate all volatile objects T_x uses that
+        // are not yet allocated on its processor; each *first* allocation
+        // bumps exactly the local accessors of that object.
+        let p = ctx.assign.proc_of(t);
+        for d in ctx.g.accesses(t) {
+            if ctx.assign.owner_of(d) != p {
+                let slot = self.slot(p, d.0);
+                if !self.allocated[slot] {
+                    self.allocated[slot] = true;
+                    for &u in ctx.g.accessors(d) {
+                        if ctx.assign.proc_of(TaskId(u)) == p {
+                            self.have[u as usize] += 1;
+                            dirty.push(TaskId(u));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Order the tasks of each processor by the MPO heuristic (heap-driven
+/// with incremental priorities; order-for-order identical to
+/// [`mpo_order_reference`]).
 pub fn mpo_order(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
+    let mut policy = MpoHeapPolicy::new(g, assign);
+    simulate_ordering_heap(g, assign, cost, &mut policy)
+}
+
+/// Straight-scan reference implementation of [`mpo_order`]: recomputes
+/// every ready task's memory priority at every pick. Kept for validation
+/// and benchmarking against the heap path.
+pub fn mpo_order_reference(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
     let mut policy = MpoPolicy::new(g, assign.nprocs);
-    simulate_ordering(g, assign, cost, &mut policy)
+    simulate_ordering_reference(g, assign, cost, &mut policy)
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //! delays included). Time-efficient, but volatile objects may stay alive
 //! for long stretches, so it is not memory-scalable (Figure 7).
 
-use crate::sim::{simulate_ordering, OrderPolicy, SimCtx};
+use crate::heapsim::{simulate_ordering_heap, HeapPolicy};
+use crate::sim::{simulate_ordering_reference, OrdF64, OrderPolicy, SimCtx};
 use rapid_core::graph::{ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 
@@ -27,9 +28,29 @@ impl OrderPolicy for RcpPolicy {
     }
 }
 
-/// Order the tasks of each processor by the RCP rule.
+/// Heap twin of [`RcpPolicy`]: the key is the static bottom level, so no
+/// incremental maintenance is needed — every ready task is pushed once.
+struct RcpHeapPolicy;
+
+impl HeapPolicy for RcpHeapPolicy {
+    type Key = OrdF64;
+
+    #[inline]
+    fn key(&self, t: TaskId, ctx: &SimCtx<'_>) -> OrdF64 {
+        OrdF64(ctx.blevel[t.idx()])
+    }
+}
+
+/// Order the tasks of each processor by the RCP rule (heap-driven;
+/// order-for-order identical to [`rcp_order_reference`]).
 pub fn rcp_order(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
-    simulate_ordering(g, assign, cost, &mut RcpPolicy)
+    simulate_ordering_heap(g, assign, cost, &mut RcpHeapPolicy)
+}
+
+/// Straight-scan reference implementation of [`rcp_order`], kept for
+/// validation and benchmarking against the heap path.
+pub fn rcp_order_reference(g: &TaskGraph, assign: &Assignment, cost: &CostModel) -> Schedule {
+    simulate_ordering_reference(g, assign, cost, &mut RcpPolicy)
 }
 
 #[cfg(test)]

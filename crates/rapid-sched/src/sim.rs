@@ -3,28 +3,21 @@
 //!
 //! All three orderings (RCP, MPO, DTS) "simulate the execution of tasks
 //! following task dependencies" (paper §4.1) and differ only in which ready
-//! task a processor picks next. [`simulate_ordering`] owns the simulation
-//! loop; an [`OrderPolicy`] supplies the pick rule.
+//! task a processor picks next. [`simulate_ordering_reference`] owns the
+//! simulation loop; an [`OrderPolicy`] supplies the pick rule.
+//!
+//! This straight-scan simulator is the *reference implementation*, kept —
+//! like the kernels' naive loops — for validation and as the baseline of
+//! `BENCH_scheduling.json`. Production ordering goes through the
+//! heap-driven [`crate::heapsim::simulate_ordering_heap`], which produces
+//! order-for-order identical schedules (proven by
+//! `tests/ordering_equiv.rs`) without the per-step rescans.
 
 use rapid_core::algo;
 use rapid_core::graph::{ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 
-/// Totally ordered `f64` wrapper for priority keys (`total_cmp` semantics).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct OrdF64(pub f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+pub use rapid_core::algo::OrdF64;
 
 /// View of the simulation state exposed to policies.
 pub struct SimCtx<'a> {
@@ -57,7 +50,8 @@ pub trait OrderPolicy {
     fn on_scheduled(&mut self, _t: TaskId, _ctx: &SimCtx<'_>) {}
 }
 
-/// Run the ordering simulation and return the per-processor orders.
+/// Run the straight-scan ordering simulation and return the
+/// per-processor orders.
 ///
 /// At every step the processor with the earliest idle time among those
 /// having an eligible ready task schedules the task its policy picks
@@ -65,7 +59,11 @@ pub trait OrderPolicy {
 /// clock and message arrival times from remote predecessors; these
 /// predicted times drive the simulation but only the resulting *order* is
 /// returned — run-time behaviour is the executor's business.
-pub fn simulate_ordering<P: OrderPolicy>(
+///
+/// Complexity is O(steps × ready-list length × pick cost): every step
+/// rescans the processors and the chosen processor's ready list. Use
+/// [`crate::heapsim::simulate_ordering_heap`] outside of validation.
+pub fn simulate_ordering_reference<P: OrderPolicy>(
     g: &TaskGraph,
     assign: &Assignment,
     cost: &CostModel,
@@ -151,7 +149,7 @@ mod tests {
     fn fifo_produces_valid_schedule() {
         let g = fixtures::figure2_dag();
         let assign = fixtures::figure2_assignment();
-        let s = simulate_ordering(&g, &assign, &CostModel::unit(), &mut Fifo);
+        let s = simulate_ordering_reference(&g, &assign, &CostModel::unit(), &mut Fifo);
         assert!(s.is_valid(&g));
         assert_eq!(s.order[0].len(), 6);
         assert_eq!(s.order[1].len(), 14);
@@ -163,15 +161,8 @@ mod tests {
             let g = fixtures::random_irregular_graph(seed, &fixtures::RandomGraphSpec::default());
             let owner = crate::assign::cyclic_owner_map(g.num_objects(), 3);
             let a = crate::assign::owner_compute_assignment(&g, &owner, 3);
-            let s = simulate_ordering(&g, &a, &CostModel::unit(), &mut Fifo);
+            let s = simulate_ordering_reference(&g, &a, &CostModel::unit(), &mut Fifo);
             assert!(s.is_valid(&g), "seed {seed}");
         }
-    }
-
-    #[test]
-    fn ordf64_total_order() {
-        let mut v = vec![OrdF64(3.0), OrdF64(1.0), OrdF64(2.0)];
-        v.sort();
-        assert_eq!(v, vec![OrdF64(1.0), OrdF64(2.0), OrdF64(3.0)]);
     }
 }

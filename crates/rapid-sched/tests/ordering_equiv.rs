@@ -1,0 +1,117 @@
+//! Order-for-order equivalence of the heap-driven ordering simulator
+//! against the straight-scan reference (paper §4.1, Figure 4).
+//!
+//! The heap path must not merely produce *valid* schedules — it must
+//! reproduce the reference's per-processor orders exactly, including tie
+//! breaks (equal keys resolve to the smaller task id in both paths).
+
+use rapid_core::fixtures::{self, RandomGraphSpec};
+use rapid_core::schedule::{CostModel, Schedule};
+use rapid_sched::assign::{cyclic_owner_map, owner_compute_assignment};
+use rapid_sched::{
+    dts_order, dts_order_reference, mpo_order, mpo_order_reference, rcp_order, rcp_order_reference,
+};
+
+fn assert_same_orders(heap: &Schedule, reference: &Schedule, what: &str, seed: u64) {
+    assert_eq!(
+        heap.order.len(),
+        reference.order.len(),
+        "{what}, seed {seed}: processor count differs"
+    );
+    for (p, (h, r)) in heap.order.iter().zip(reference.order.iter()).enumerate() {
+        assert_eq!(h, r, "{what}, seed {seed}: order differs on processor {p}");
+    }
+}
+
+fn check_all(seed: u64, spec: &RandomGraphSpec, nprocs: usize) {
+    let g = fixtures::random_irregular_graph(seed, spec);
+    let owner = cyclic_owner_map(g.num_objects(), nprocs);
+    let a = owner_compute_assignment(&g, &owner, nprocs);
+    let cost = CostModel::unit();
+
+    let rcp_h = rcp_order(&g, &a, &cost);
+    let rcp_r = rcp_order_reference(&g, &a, &cost);
+    assert!(rcp_h.is_valid(&g), "rcp heap invalid, seed {seed}");
+    assert_same_orders(&rcp_h, &rcp_r, "rcp", seed);
+
+    let mpo_h = mpo_order(&g, &a, &cost);
+    let mpo_r = mpo_order_reference(&g, &a, &cost);
+    assert!(mpo_h.is_valid(&g), "mpo heap invalid, seed {seed}");
+    assert_same_orders(&mpo_h, &mpo_r, "mpo", seed);
+
+    let dts_h = dts_order(&g, &a, &cost);
+    let dts_r = dts_order_reference(&g, &a, &cost);
+    assert!(dts_h.is_valid(&g), "dts heap invalid, seed {seed}");
+    assert_same_orders(&dts_h, &dts_r, "dts", seed);
+}
+
+#[test]
+fn heap_matches_reference_on_default_random_graphs() {
+    for seed in 0..40 {
+        check_all(seed, &RandomGraphSpec::default(), 4);
+    }
+}
+
+#[test]
+fn heap_matches_reference_on_wide_graphs() {
+    // Wide graphs keep many tasks ready at once, stressing pick tie breaks
+    // and stale-entry discarding in the per-processor heaps.
+    let spec = RandomGraphSpec {
+        objects: 60,
+        tasks: 200,
+        max_obj_size: 3,
+        max_reads: 4,
+        update_prob: 0.2,
+        accum_prob: 0.1,
+        max_weight: 2.0,
+    };
+    for seed in 100..120 {
+        check_all(seed, &spec, 8);
+    }
+}
+
+#[test]
+fn heap_matches_reference_with_heavy_ties() {
+    // Unit weights + few distinct objects collapse most priority keys to
+    // identical values, so almost every pick is decided by the task-id
+    // tie break — any asymmetry between the two simulators shows here.
+    let spec = RandomGraphSpec {
+        objects: 8,
+        tasks: 150,
+        max_obj_size: 1,
+        max_reads: 2,
+        update_prob: 0.5,
+        accum_prob: 0.0,
+        max_weight: 1.0,
+    };
+    for seed in 200..220 {
+        check_all(seed, &spec, 3);
+    }
+}
+
+#[test]
+fn heap_matches_reference_on_single_processor() {
+    // nprocs = 1 degenerates the processor heap to a single entry and
+    // makes every object local (no volatile allocations for MPO).
+    for seed in 300..310 {
+        check_all(seed, &RandomGraphSpec::default(), 1);
+    }
+}
+
+/// Large-graph smoke test (~50k tasks). Debug builds take too long on the
+/// O(ready · accesses) reference scans, so this only runs in release mode
+/// (`cargo test --release`).
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn heap_matches_reference_on_large_graph() {
+    let spec = RandomGraphSpec {
+        objects: 12_000,
+        tasks: 50_000,
+        max_obj_size: 4,
+        max_reads: 3,
+        update_prob: 0.35,
+        accum_prob: 0.05,
+        max_weight: 4.0,
+    };
+    check_all(4242, &spec, 16);
+}

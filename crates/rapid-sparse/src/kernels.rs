@@ -23,12 +23,23 @@ const NB: usize = 32;
 /// strictly upper part is left untouched). Returns `Err(k)` if the
 /// `k`-th pivot is not positive.
 ///
-/// Blocked right-looking algorithm: factor a column panel of width
-/// [`NB`] over its full height, then apply the panel's rank-`nb` SYRK
-/// update to the trailing lower triangle through the register-tiled
-/// micro-kernel. Identical arithmetic graph to [`potrf_unblocked`] up to
-/// summation order.
+/// Dispatches on size: up to `2·NB` columns the straight-loop
+/// [`potrf_unblocked`] is at least as fast (the whole factor fits in
+/// cache and the panel bookkeeping buys nothing), so narrow problems
+/// take it directly; larger ones go through [`potrf_blocked`].
 pub fn potrf(a: &mut [f64], n: usize) -> Result<(), usize> {
+    if n <= 2 * NB {
+        return potrf_unblocked(a, n);
+    }
+    potrf_blocked(a, n)
+}
+
+/// Blocked right-looking Cholesky (same contract as [`potrf`], no size
+/// dispatch): factor a column panel of width [`NB`] over its full
+/// height, then apply the panel's rank-`nb` SYRK update to the trailing
+/// lower triangle through the register-tiled micro-kernel. Identical
+/// arithmetic graph to [`potrf_unblocked`] up to summation order.
+pub fn potrf_blocked(a: &mut [f64], n: usize) -> Result<(), usize> {
     debug_assert!(a.len() >= n * n);
     let mut k0 = 0;
     while k0 < n {
@@ -243,19 +254,26 @@ pub fn gemm_nt_sub_naive(c: &mut [f64], m: usize, n: usize, a: &[f64], b: &[f64]
 /// diagonal and `U` on/above it. `piv[j]` records the row swapped into
 /// position `j`. Returns `Err(j)` on a zero pivot column.
 ///
-/// Blocked right-looking algorithm with [`NB`]-wide column panels: the
-/// panel is factored with the reference loops (pivot swaps deferred for
-/// the columns outside it), the `U` block solves against the panel's
-/// unit-lower triangle, and the trailing update packs the panel and `U`
-/// block into contiguous scratch and runs the register-tiled
-/// [`gemm_nn_sub`]. Narrow problems take the [`getrf_unblocked`] path
-/// directly — below ~`3·NB` columns the packing traffic costs more than
-/// the tiled trailing update saves.
+/// Dispatches on size: the reference loops are pure unit-stride AXPY
+/// streams, so on baseline SIMD codegen the blocked path's packing and
+/// deferred-swap overhead only pays off once the trailing matrix falls
+/// out of cache — below `16·NB` columns [`getrf_unblocked`] is taken
+/// directly, above it [`getrf_blocked`].
 pub fn getrf(a: &mut [f64], m: usize, n: usize, piv: &mut [u32]) -> Result<(), usize> {
-    debug_assert!(a.len() >= m * n && piv.len() >= n && m >= n);
-    if n <= 3 * NB {
+    if n <= 16 * NB {
         return getrf_unblocked(a, m, n, piv);
     }
+    getrf_blocked(a, m, n, piv)
+}
+
+/// Blocked right-looking LU (same contract as [`getrf`], no size
+/// dispatch), with [`NB`]-wide column panels: the panel is factored with
+/// the reference loops (pivot swaps deferred for the columns outside
+/// it), the `U` block solves against the panel's unit-lower triangle,
+/// and the trailing update packs the panel and `U` block into contiguous
+/// scratch and runs the register-tiled [`gemm_nn_sub`].
+pub fn getrf_blocked(a: &mut [f64], m: usize, n: usize, piv: &mut [u32]) -> Result<(), usize> {
+    debug_assert!(a.len() >= m * n && piv.len() >= n && m >= n);
     // Packed copies of the panel's sub-diagonal block (L) and of the U
     // block for the trailing GEMM — packing both sidesteps the aliasing
     // of reading and writing `a` and gives the micro-kernel unit-stride
@@ -693,7 +711,7 @@ mod tests {
             }
             let mut blocked = a.clone();
             let mut naive = a;
-            potrf(&mut blocked, n).unwrap();
+            potrf_blocked(&mut blocked, n).unwrap();
             potrf_unblocked(&mut naive, n).unwrap();
             for j in 0..n {
                 for i in j..n {
@@ -709,14 +727,15 @@ mod tests {
     #[test]
     fn blocked_getrf_reconstructs_pa_across_panel_boundary() {
         let mut seed = 7;
-        // The last three sizes exceed the 3·NB crossover and exercise the
-        // blocked path (panel factor, deferred swaps, packed trailing
-        // GEMM); the rest take the unblocked dispatch.
+        // Drive the blocked path directly (panel factor, deferred swaps,
+        // packed trailing GEMM) at sizes straddling the NB=32 panel
+        // width — the public `getrf` would route most of these to the
+        // unblocked dispatch.
         for &(m, n) in &[(1, 1), (5, 3), (47, 40), (65, 65), (100, 97), (110, 110), (130, 128)] {
             let a0: Vec<f64> = (0..m * n).map(|_| rng(&mut seed)).collect();
             let mut a = a0.clone();
             let mut piv = vec![0u32; n];
-            getrf(&mut a, m, n, &mut piv).unwrap();
+            getrf_blocked(&mut a, m, n, &mut piv).unwrap();
             // Rebuild P·A0 from L and U and compare.
             let mut pa = a0;
             laswp(&mut pa, m, n, &piv);

@@ -228,7 +228,7 @@ fn blocked_potrf_agrees_with_unblocked() {
         }
         let mut blocked = a.clone();
         let mut naive = a;
-        kernels::potrf(&mut blocked, n).unwrap();
+        kernels::potrf_blocked(&mut blocked, n).unwrap();
         kernels::potrf_unblocked(&mut naive, n).unwrap();
         for j in 0..n {
             for i in j..n {
