@@ -78,6 +78,41 @@ impl Default for Backoff {
     }
 }
 
+/// A bounded retry loop: couples a [`Backoff`] with an attempt cap, for
+/// waits that must eventually give up and surface a typed error rather
+/// than spin forever — e.g. the executor's MAP-time response to a
+/// transiently fragmented arena.
+#[derive(Debug)]
+pub struct Retry {
+    backoff: Backoff,
+    attempts: u32,
+    limit: u32,
+}
+
+impl Retry {
+    /// Retry up to `limit` more times after the initial attempt.
+    pub fn new(limit: u32) -> Self {
+        Retry { backoff: Backoff::new(), attempts: 0, limit }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Wait once (escalating the backoff tier) and report whether another
+    /// attempt is allowed. Returns `false` once the cap is exhausted —
+    /// without waiting — so the caller can surface its error promptly.
+    pub fn again(&mut self) -> bool {
+        if self.attempts >= self.limit {
+            return false;
+        }
+        self.attempts += 1;
+        self.backoff.wait();
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +131,20 @@ mod tests {
         assert!(b.is_parking());
         b.reset();
         assert!(!b.is_parking());
+    }
+
+    #[test]
+    fn retry_caps_attempts() {
+        let mut r = Retry::new(3);
+        let mut n = 0;
+        while r.again() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert_eq!(r.attempts(), 3);
+        assert!(!r.again(), "exhausted retry stays exhausted");
+        let mut zero = Retry::new(0);
+        assert!(!zero.again(), "zero-limit retry allows no attempts");
     }
 
     #[test]

@@ -14,16 +14,21 @@
 //!   one-sided stores into a remote arena at an offset learned from an
 //!   address package, with release/acquire arrival flags,
 //! - [`backoff`] — the tiered spin/yield/park strategy the executor's
-//!   blocking waits use instead of unconditional `yield_now` polling.
+//!   blocking waits use instead of unconditional `yield_now` polling,
+//! - [`fault`] — deterministic, seeded fault injection (mailbox rejection
+//!   and delay, RMA put delay, transient allocation failure, worker
+//!   jitter) for chaos-testing the executors' recovery paths.
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod backoff;
 pub mod config;
+pub mod fault;
 pub mod mailbox;
 pub mod rma;
 
 pub use arena::{Arena, ArenaError};
-pub use backoff::Backoff;
+pub use backoff::{Backoff, Retry};
 pub use config::MachineConfig;
+pub use fault::{FaultPlan, FaultSpec, ProcFaults};

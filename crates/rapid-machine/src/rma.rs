@@ -133,6 +133,12 @@ impl FlagBoard {
         self.flags[i].load(Ordering::Acquire)
     }
 
+    /// Number of flags raised at least once — a cheap progress indicator
+    /// for stall diagnostics (how many messages have arrived so far).
+    pub fn raised_count(&self) -> usize {
+        self.flags.iter().filter(|f| f.load(Ordering::Acquire) > 0).count()
+    }
+
     /// Number of flags.
     pub fn len(&self) -> usize {
         self.flags.len()
@@ -174,6 +180,9 @@ mod tests {
         f.raise(1);
         assert_eq!(f.count(1), 2);
         assert_eq!(f.len(), 3);
+        assert_eq!(f.raised_count(), 1, "double raise counts one flag");
+        f.raise(0);
+        assert_eq!(f.raised_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Concurrent hammering of the single-slot address mailboxes: the
+//! allocation-free `try_send_from` / `drain_for_into` pair under real
+//! producer/consumer races. The properties under test are the ones the
+//! executor's MAP/RA protocol leans on:
+//!
+//! - a failed `try_send_from` leaves the caller's pending package intact
+//!   (the sender retries the same package after servicing);
+//! - a successful hand-off clears the caller's buffer and delivers every
+//!   entry exactly once, in per-source order (release/acquire publication);
+//! - `drain_for_into` never loses, duplicates, or reorders a source's
+//!   packages no matter how the producers interleave.
+
+use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-source payload: `rounds` packages of varying size, entries encoding
+/// `(src, sequence)` so the consumer can verify order and completeness.
+fn expected_entries(src: u32, rounds: u32) -> Vec<AddrEntry> {
+    let mut v = Vec::new();
+    for r in 0..rounds {
+        for k in 0..(1 + (r + src) % 3) {
+            v.push(AddrEntry {
+                obj: src * 1_000_000 + r * 10 + k,
+                offset: (r as u64) << 32 | k as u64,
+            });
+        }
+    }
+    v
+}
+
+#[test]
+fn concurrent_producers_deliver_in_order_without_loss() {
+    const NPROCS: usize = 5;
+    const DST: usize = NPROCS - 1;
+    const ROUNDS: u32 = 400;
+
+    let board = MailboxBoard::new(NPROCS);
+    let live_producers = AtomicUsize::new(DST);
+    let mut received: Vec<Vec<AddrEntry>> = vec![Vec::new(); NPROCS];
+
+    std::thread::scope(|scope| {
+        for src in 0..DST {
+            let board = &board;
+            let live = &live_producers;
+            scope.spawn(move || {
+                let slot = board.slot(src, DST);
+                let mut pending: Vec<AddrEntry> = Vec::new();
+                for r in 0..ROUNDS {
+                    for k in 0..(1 + (r + src as u32) % 3) {
+                        pending.push(AddrEntry {
+                            obj: src as u32 * 1_000_000 + r * 10 + k,
+                            offset: (r as u64) << 32 | k as u64,
+                        });
+                    }
+                    let before = pending.clone();
+                    while !slot.try_send_from(&mut pending) {
+                        // Failed sends must not disturb the pending package.
+                        assert_eq!(pending, before, "P{src}: failed send mutated the package");
+                        std::hint::spin_loop();
+                    }
+                    assert!(pending.is_empty(), "P{src}: successful send must clear the buffer");
+                }
+                live.fetch_sub(1, Ordering::Release);
+            });
+        }
+
+        // Consumer: drain through the shared RA path until every producer
+        // has retired and a final sweep finds the slots dry.
+        let live = &live_producers;
+        let board_ref = &board;
+        let consumer = scope.spawn(move || {
+            let mut got: Vec<Vec<AddrEntry>> = vec![Vec::new(); NPROCS];
+            let mut scratch = Vec::new();
+            loop {
+                let drained = board_ref.drain_for_into(DST, &mut scratch, |src, entries| {
+                    got[src].extend_from_slice(entries);
+                });
+                if drained == 0 && live.load(Ordering::Acquire) == 0 {
+                    // One final sweep: a producer may have published
+                    // between our last drain and its retirement.
+                    board_ref.drain_for_into(DST, &mut scratch, |src, entries| {
+                        got[src].extend_from_slice(entries);
+                    });
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            got
+        });
+        received = consumer.join().expect("consumer must not panic");
+    });
+
+    for (src, got) in received.iter().enumerate().take(DST) {
+        let want = expected_entries(src as u32, ROUNDS);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "P{src}: lost or duplicated entries ({} of {})",
+            got.len(),
+            want.len()
+        );
+        assert_eq!(got, &want, "P{src}: entries reordered or corrupted");
+    }
+    assert!(received[DST].is_empty(), "diagonal slot must never deliver");
+}
+
+#[test]
+fn failed_send_keeps_package_and_slot_content_intact() {
+    let board = MailboxBoard::new(2);
+    let slot = board.slot(0, 1);
+    let mut first = vec![AddrEntry { obj: 1, offset: 10 }, AddrEntry { obj: 2, offset: 20 }];
+    assert!(slot.try_send_from(&mut first));
+    assert!(first.is_empty());
+
+    // While the slot is full, repeated sends fail without side effects.
+    let mut blocked = vec![AddrEntry { obj: 3, offset: 30 }];
+    for _ in 0..100 {
+        assert!(!slot.try_send_from(&mut blocked));
+        assert_eq!(blocked, vec![AddrEntry { obj: 3, offset: 30 }]);
+    }
+
+    // Draining yields the first package untouched by the failed attempts.
+    let mut scratch = Vec::new();
+    let mut seen = Vec::new();
+    let n = board.drain_for_into(1, &mut scratch, |src, entries| {
+        seen.push((src, entries.to_vec()));
+    });
+    assert_eq!(n, 1);
+    assert_eq!(
+        seen,
+        vec![(0, vec![AddrEntry { obj: 1, offset: 10 }, AddrEntry { obj: 2, offset: 20 }])]
+    );
+
+    // Now the blocked package goes through and arrives intact.
+    assert!(slot.try_send_from(&mut blocked));
+    assert!(blocked.is_empty());
+    let mut seen = Vec::new();
+    board.drain_for_into(1, &mut scratch, |_, entries| seen.extend_from_slice(entries));
+    assert_eq!(seen, vec![AddrEntry { obj: 3, offset: 30 }]);
+}
+
+#[test]
+fn many_destinations_under_contention() {
+    // Every processor sends to every other processor concurrently while
+    // every processor drains its own incoming slots: full-board chaos.
+    const NPROCS: usize = 4;
+    const ROUNDS: u32 = 200;
+    let board = MailboxBoard::new(NPROCS);
+
+    std::thread::scope(|scope| {
+        for me in 0..NPROCS {
+            let board = &board;
+            scope.spawn(move || {
+                let mut pending: Vec<Vec<AddrEntry>> = vec![Vec::new(); NPROCS];
+                let mut sent = [0u32; NPROCS];
+                let mut got: Vec<Vec<AddrEntry>> = vec![Vec::new(); NPROCS];
+                let mut scratch = Vec::new();
+                // Interleave sending rounds to every peer with draining our
+                // own slots — the shape of a worker doing MAP + RA.
+                loop {
+                    let mut all_sent = true;
+                    for dst in 0..NPROCS {
+                        if dst == me {
+                            continue;
+                        }
+                        if sent[dst] < ROUNDS {
+                            all_sent = false;
+                            if pending[dst].is_empty() {
+                                pending[dst].push(AddrEntry {
+                                    obj: (me * NPROCS + dst) as u32 * 100_000 + sent[dst],
+                                    offset: sent[dst] as u64,
+                                });
+                            }
+                            if board.slot(me, dst).try_send_from(&mut pending[dst]) {
+                                sent[dst] += 1;
+                            }
+                        }
+                    }
+                    board.drain_for_into(me, &mut scratch, |src, entries| {
+                        got[src].extend_from_slice(entries);
+                    });
+                    let expected = ROUNDS as usize * (NPROCS - 1);
+                    let have: usize = got.iter().map(Vec::len).sum();
+                    if all_sent && have == expected {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                // Per-source streams must arrive complete and ordered.
+                for (src, stream) in got.iter().enumerate() {
+                    if src == me {
+                        assert!(stream.is_empty());
+                        continue;
+                    }
+                    let want: Vec<AddrEntry> = (0..ROUNDS)
+                        .map(|r| AddrEntry {
+                            obj: (src * NPROCS + me) as u32 * 100_000 + r,
+                            offset: r as u64,
+                        })
+                        .collect();
+                    assert_eq!(stream, &want, "P{me}: stream from P{src} damaged");
+                }
+            });
+        }
+    });
+}

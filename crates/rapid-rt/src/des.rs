@@ -18,6 +18,7 @@ use rapid_core::algo::OrdF64;
 use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::Schedule;
 use rapid_machine::config::MachineConfig;
+use rapid_machine::fault::{FaultPlan, ProcFaults};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -37,17 +38,36 @@ pub struct DesConfig {
     /// in the MAP state; the outcome reports the peak queued packages so
     /// the space cost of the alternative is visible.
     pub addr_buffering: bool,
+    /// Deterministic fault plan: message puts and address packages are
+    /// held back by seeded virtual-time delays, arriving late and
+    /// reordered. Only the delay sites apply in the DES — an injected
+    /// mailbox *rejection* of a genuinely empty slot would never receive
+    /// a wake event in the event system, manufacturing a deadlock the
+    /// real machine cannot exhibit.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DesConfig {
     /// Active-memory-management configuration on the given machine.
     pub fn managed(machine: MachineConfig) -> Self {
-        DesConfig { machine, memory_mgmt: true, window: MapWindow::Greedy, addr_buffering: false }
+        DesConfig {
+            machine,
+            memory_mgmt: true,
+            window: MapWindow::Greedy,
+            addr_buffering: false,
+            faults: None,
+        }
     }
 
     /// Original-RAPID configuration (no recycling).
     pub fn unmanaged(machine: MachineConfig) -> Self {
-        DesConfig { machine, memory_mgmt: false, window: MapWindow::Greedy, addr_buffering: false }
+        DesConfig {
+            machine,
+            memory_mgmt: false,
+            window: MapWindow::Greedy,
+            addr_buffering: false,
+            faults: None,
+        }
     }
 
     /// Override the MAP window policy.
@@ -59,6 +79,13 @@ impl DesConfig {
     /// Enable buffered address mailboxes.
     pub fn with_addr_buffering(mut self) -> Self {
         self.addr_buffering = true;
+        self
+    }
+
+    /// Inject a deterministic fault plan (delay sites only; see
+    /// [`DesConfig::faults`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -154,6 +181,8 @@ impl<'a> DesExecutor<'a> {
         let nprocs = self.sched.assign.nprocs;
         let m = &self.cfg.machine;
         assert_eq!(nprocs, m.nprocs, "schedule and machine disagree on processor count");
+        let mut pfaults: Vec<Option<ProcFaults>> =
+            (0..nprocs).map(|p| self.cfg.faults.as_ref().map(|f| f.for_proc(p))).collect();
 
         let mut procs: Vec<ProcState> = (0..nprocs)
             .map(|p| ProcState {
@@ -253,7 +282,7 @@ impl<'a> DesExecutor<'a> {
                 let mut still: VecDeque<u32> = VecDeque::new();
                 while let Some(mid) = procs[pi].suspended.pop_front() {
                     if self.sendable(&procs[pi].known, mid) {
-                        let arr = self.do_send(&mut procs[pi].now, mid, m);
+                        let arr = self.do_send(&mut procs[pi].now, mid, m, &mut pfaults[pi]);
                         msg_arrival[mid as usize] = Some(arr);
                         msgs_sent += 1;
                         push(&mut events, &mut seq, arr, self.plan.msgs[mid as usize].dst_proc);
@@ -300,7 +329,12 @@ impl<'a> DesExecutor<'a> {
                                 break 'step;
                             }
                             procs[pi].now += m.addr_pkg_cost;
-                            let arrive = procs[pi].now + m.transfer_time(nobjs);
+                            // Injected mailbox hand-off delay (virtual time).
+                            let fault_lag = pfaults[pi]
+                                .as_mut()
+                                .and_then(|f| f.mailbox_delay())
+                                .map_or(0.0, |d| d.as_secs_f64());
+                            let arrive = procs[pi].now + m.transfer_time(nobjs) + fault_lag;
                             let (_, objs) =
                                 procs[pi].pending_pkgs.pop_front().expect("front exists");
                             slots[pi][dst].push_back((arrive, objs));
@@ -342,7 +376,8 @@ impl<'a> DesExecutor<'a> {
                         // SND.
                         for &mid in &self.plan.out_msgs[t.idx()] {
                             if self.sendable(&procs[pi].known, mid) {
-                                let arr = self.do_send(&mut procs[pi].now, mid, m);
+                                let arr =
+                                    self.do_send(&mut procs[pi].now, mid, m, &mut pfaults[pi]);
                                 msg_arrival[mid as usize] = Some(arr);
                                 msgs_sent += 1;
                                 push(
@@ -424,7 +459,7 @@ impl<'a> DesExecutor<'a> {
                     }
                 }
             }
-            return Err(ExecError::Stalled { remaining });
+            return Err(ExecError::Stalled { remaining, snapshot: None });
         }
         let parallel_time = procs.iter().map(|s| s.now).fold(0.0f64, f64::max);
         Ok(DesOutcome {
@@ -451,14 +486,22 @@ impl<'a> DesExecutor<'a> {
     }
 
     /// Charge the sender's put overhead (plus the managed-mode address
-    /// table lookup) and return the arrival time.
-    fn do_send(&self, now: &mut f64, mid: u32, m: &MachineConfig) -> f64 {
+    /// table lookup) and return the arrival time, including any injected
+    /// virtual-time put delay.
+    fn do_send(
+        &self,
+        now: &mut f64,
+        mid: u32,
+        m: &MachineConfig,
+        f: &mut Option<ProcFaults>,
+    ) -> f64 {
         let msg = &self.plan.msgs[mid as usize];
         *now += m.put_overhead;
         if self.cfg.memory_mgmt {
             *now += m.msg_lookup_cost;
         }
-        *now + m.transfer_time(msg.units)
+        let fault_lag = f.as_mut().and_then(|pf| pf.put_delay()).map_or(0.0, |d| d.as_secs_f64());
+        *now + m.transfer_time(msg.units) + fault_lag
     }
 }
 
@@ -647,6 +690,40 @@ mod tests {
         assert!(buf.peak_queued_pkgs >= 1);
         // Same work completes either way (Theorem 1 needs no buffering).
         assert_eq!(slot.finish.len(), buf.finish.len());
+    }
+
+    #[test]
+    fn injected_delays_are_deterministic_and_slow_the_run() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let machine = MachineConfig::unit(2, 8);
+        let clean =
+            DesExecutor::new(&g, &sched, DesConfig::managed(machine.clone())).run().unwrap();
+        let faulted = |seed: u64| {
+            DesExecutor::new(
+                &g,
+                &sched,
+                DesConfig::managed(machine.clone()).with_faults(FaultPlan::delay_heavy(seed)),
+            )
+            .run()
+            .unwrap()
+        };
+        let a = faulted(5);
+        let b = faulted(5);
+        assert_eq!(a.parallel_time, b.parallel_time, "same seed must replay identically");
+        assert_eq!(a.finish, b.finish);
+        assert!(
+            a.parallel_time > clean.parallel_time,
+            "held-back messages must lengthen the critical path"
+        );
+        // Every task still completes; delays never change the work done.
+        assert_eq!(a.finish.len(), g.num_tasks());
+        let c = faulted(6);
+        assert_ne!(
+            (a.parallel_time, a.finish.clone()),
+            (c.parallel_time, c.finish.clone()),
+            "different seeds should perturb the timeline"
+        );
     }
 
     #[test]

@@ -118,6 +118,139 @@ pub fn plan_schedule(
     }
 }
 
+// ---------------------------------------------------------------------
+// Runtime introspection: the live worker-state board and the stall
+// snapshot the threaded executor's watchdog attaches to
+// [`ExecError::Stalled`](crate::maps::ExecError::Stalled). The paper's
+// five-state machine makes "where is every processor stuck?" the first
+// diagnostic question; publishing each worker's (state, position,
+// suspended-send depth) through a lock-free board answers it without
+// perturbing the run.
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
+
+/// A worker's protocol state (the paper's Figure 3(b) plus bookkeeping
+/// states), as published to the live [`StateBoard`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Laying out permanent objects before the protocol starts.
+    Setup,
+    /// Running a memory allocation point (may block on a full mailbox
+    /// slot or a fragmented arena).
+    Map,
+    /// Waiting for the current task's incoming messages.
+    Rec,
+    /// Executing a task body.
+    Exe,
+    /// Emitting the task's outgoing messages.
+    Snd,
+    /// All tasks done; draining the suspended-send queue.
+    End,
+    /// Worker finished.
+    Done,
+}
+
+impl WorkerState {
+    fn from_bits(b: u64) -> WorkerState {
+        match b {
+            0 => WorkerState::Setup,
+            1 => WorkerState::Map,
+            2 => WorkerState::Rec,
+            3 => WorkerState::Exe,
+            4 => WorkerState::Snd,
+            5 => WorkerState::End,
+            _ => WorkerState::Done,
+        }
+    }
+}
+
+/// Lock-free board where every worker publishes `(state, position,
+/// suspended sends)` on each state transition (one relaxed store), so the
+/// first watchdog to fire can photograph the whole machine.
+#[derive(Debug)]
+pub struct StateBoard {
+    /// Packed `state << 60 | pos << 32 | suspended` per processor.
+    words: Vec<AtomicU64>,
+}
+
+impl StateBoard {
+    /// Board for `nprocs` workers, all in [`WorkerState::Setup`].
+    pub fn new(nprocs: usize) -> Self {
+        StateBoard { words: (0..nprocs).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Publish worker `p`'s current state (relaxed: diagnostics only).
+    #[inline]
+    pub fn publish(&self, p: usize, st: WorkerState, pos: u32, suspended: u32) {
+        let w = ((st as u64) << 60) | (((pos as u64) & 0x0FFF_FFFF) << 32) | suspended as u64;
+        self.words[p].store(w, AtOrd::Relaxed);
+    }
+
+    /// Read worker `p`'s last published `(state, position, suspended)`.
+    pub fn read(&self, p: usize) -> (WorkerState, u32, u32) {
+        let w = self.words[p].load(AtOrd::Relaxed);
+        (WorkerState::from_bits(w >> 60), ((w >> 32) & 0x0FFF_FFFF) as u32, w as u32)
+    }
+}
+
+/// One processor's row of a [`StallSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcDiag {
+    /// Processor id.
+    pub proc: ProcId,
+    /// Last published protocol state.
+    pub state: WorkerState,
+    /// Last published position in the processor's order.
+    pub pos: u32,
+    /// Length of the processor's order.
+    pub order_len: u32,
+    /// Suspended sends parked on missing remote addresses.
+    pub suspended_sends: u32,
+    /// Destinations whose incoming mailbox slot from this processor is
+    /// still occupied (a potential blocked-in-MAP edge).
+    pub mailbox_full_to: Vec<ProcId>,
+}
+
+/// Diagnostic photograph of the machine taken by the worker whose stall
+/// watchdog fired, attached to
+/// [`ExecError::Stalled`](crate::maps::ExecError::Stalled).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallSnapshot {
+    /// Processor that tripped the watchdog.
+    pub reporter: ProcId,
+    /// The watchdog period that elapsed without local progress.
+    pub watchdog_ms: u64,
+    /// Messages whose arrival flag has been raised, out of the plan total.
+    pub msgs_arrived: usize,
+    /// Total messages in the protocol plan.
+    pub msgs_total: usize,
+    /// One row per processor.
+    pub procs: Vec<ProcDiag>,
+}
+
+impl std::fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stall snapshot (reported by P{} after {} ms without progress; {}/{} messages arrived):",
+            self.reporter, self.watchdog_ms, self.msgs_arrived, self.msgs_total
+        )?;
+        for d in &self.procs {
+            write!(
+                f,
+                "  P{}: {:?} at {}/{} tasks, {} suspended sends",
+                d.proc, d.state, d.pos, d.order_len, d.suspended_sends
+            )?;
+            if !d.mailbox_full_to.is_empty() {
+                write!(f, ", undrained packages to {:?}", d.mailbox_full_to)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +277,53 @@ mod tests {
             let s = plan_schedule(&g, 2, None, ord, &CostModel::unit());
             assert!(s.is_valid(&g), "{ord:?}");
         }
+    }
+
+    #[test]
+    fn state_board_roundtrip() {
+        let b = StateBoard::new(3);
+        assert_eq!(b.read(2), (WorkerState::Setup, 0, 0));
+        b.publish(1, WorkerState::Rec, 17, 4);
+        assert_eq!(b.read(1), (WorkerState::Rec, 17, 4));
+        b.publish(1, WorkerState::Done, 20, 0);
+        assert_eq!(b.read(1), (WorkerState::Done, 20, 0));
+        // Large positions survive the packing.
+        b.publish(0, WorkerState::Exe, 0x0ABC_DEF0, u32::MAX);
+        assert_eq!(b.read(0), (WorkerState::Exe, 0x0ABC_DEF0, u32::MAX));
+    }
+
+    #[test]
+    fn stall_snapshot_display_names_every_proc() {
+        let s = StallSnapshot {
+            reporter: 1,
+            watchdog_ms: 250,
+            msgs_arrived: 3,
+            msgs_total: 9,
+            procs: vec![
+                ProcDiag {
+                    proc: 0,
+                    state: WorkerState::Map,
+                    pos: 2,
+                    order_len: 5,
+                    suspended_sends: 1,
+                    mailbox_full_to: vec![1],
+                },
+                ProcDiag {
+                    proc: 1,
+                    state: WorkerState::Rec,
+                    pos: 3,
+                    order_len: 4,
+                    suspended_sends: 0,
+                    mailbox_full_to: vec![],
+                },
+            ],
+        };
+        let text = s.to_string();
+        assert!(text.contains("reported by P1"));
+        assert!(text.contains("3/9 messages"));
+        assert!(text.contains("P0: Map at 2/5"));
+        assert!(text.contains("undrained packages to [1]"));
+        assert!(text.contains("P1: Rec at 3/4"));
     }
 
     #[test]

@@ -249,12 +249,51 @@ pub struct MapAction {
     pub frees: Vec<ObjId>,
     /// Volatile objects to allocate, in allocation order.
     pub allocs: Vec<ObjId>,
+    /// `alloc_pos[i]`: the order position whose task first uses
+    /// `allocs[i]` — i.e. which window step introduced the allocation.
+    /// Executors that hit real (or injected) arena fragmentation use this
+    /// to truncate the window at the failing step instead of aborting.
+    pub alloc_pos: Vec<u32>,
     /// Position (exclusive) up to which tasks are covered: the next MAP
     /// goes right before this position.
     pub next_map: u32,
     /// Address notifications for the newly allocated objects (offsets to
     /// be filled by the executor's allocator).
     pub notifies: Vec<Notify>,
+}
+
+/// Which access-set lookup a task body attempted when it violated its
+/// declared access set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOp {
+    /// [`TaskCtx::read`](crate::threaded::TaskCtx::read) of an object not
+    /// in the task's read-only set.
+    Read,
+    /// [`TaskCtx::write`](crate::threaded::TaskCtx::write) of an object
+    /// not in the task's write set.
+    Write,
+}
+
+/// The panic payload raised by [`TaskCtx`](crate::threaded::TaskCtx)
+/// accessors on a wrong-set access. The threaded executor catches it at
+/// the task boundary and converts it into
+/// [`ExecError::AccessViolation`]; in the sequential reference it unwinds
+/// like any panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessViolation {
+    /// Object the body asked for.
+    pub obj: ObjId,
+    /// Which accessor it used.
+    pub op: AccessOp,
+}
+
+impl std::fmt::Display for AccessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            AccessOp::Read => write!(f, "task does not read-only {:?}", self.obj),
+            AccessOp::Write => write!(f, "task does not write {:?}", self.obj),
+        }
+    }
 }
 
 /// Errors shared by the executors.
@@ -279,14 +318,45 @@ pub enum ExecError {
     Stalled {
         /// Tasks that never ran.
         remaining: usize,
+        /// Diagnostic snapshot taken by the worker whose watchdog fired
+        /// (threaded executor only; the DES has its own debug dump).
+        snapshot: Option<Box<crate::inspector::StallSnapshot>>,
     },
     /// The threaded executor's arena could not satisfy an allocation due
-    /// to fragmentation (enough free units but no contiguous block).
+    /// to fragmentation (enough free units but no contiguous block), even
+    /// after the bounded retry / window-truncation ladder.
     Fragmented {
         /// Processor that failed.
         proc: ProcId,
         /// Requested units.
         requested: u64,
+        /// Largest contiguous free block at the time of failure.
+        largest: u64,
+    },
+    /// A task body panicked, or a worker thread died outside a task body
+    /// (`task` is then `None`). The run is poisoned and every other
+    /// worker exits cleanly instead of the whole process aborting.
+    WorkerPanicked {
+        /// Processor whose worker panicked.
+        proc: ProcId,
+        /// Task whose body panicked, when the panic was raised inside one.
+        task: Option<TaskId>,
+        /// Stringified panic payload (`"<non-string payload>"` when the
+        /// payload was neither `&str` nor `String`).
+        payload: String,
+    },
+    /// A task body accessed an object outside its declared access set —
+    /// caught at the task boundary and surfaced through the normal
+    /// failure path instead of aborting the process.
+    AccessViolation {
+        /// Processor whose task violated its access set.
+        proc: ProcId,
+        /// The violating task.
+        task: TaskId,
+        /// Object the body asked for.
+        obj: ObjId,
+        /// Which accessor it used.
+        op: AccessOp,
     },
 }
 
@@ -297,11 +367,27 @@ impl std::fmt::Display for ExecError {
                 f,
                 "non-executable under memory constraint: P{proc} task #{position} needs {needed} units, capacity {capacity}"
             ),
-            ExecError::Stalled { remaining } => {
-                write!(f, "execution stalled with {remaining} tasks remaining")
+            ExecError::Stalled { remaining, snapshot } => {
+                write!(f, "execution stalled with {remaining} tasks remaining")?;
+                if let Some(s) = snapshot {
+                    write!(f, "\n{s}")?;
+                }
+                Ok(())
             }
-            ExecError::Fragmented { proc, requested } => {
-                write!(f, "arena fragmentation on P{proc}: {requested} units unavailable")
+            ExecError::Fragmented { proc, requested, largest } => write!(
+                f,
+                "arena fragmentation on P{proc}: {requested} units unavailable (largest contiguous block {largest})"
+            ),
+            ExecError::WorkerPanicked { proc, task, payload } => match task {
+                Some(t) => write!(f, "task {t:?} on P{proc} panicked: {payload}"),
+                None => write!(f, "worker thread of P{proc} panicked: {payload}"),
+            },
+            ExecError::AccessViolation { proc, task, obj, op } => {
+                write!(
+                    f,
+                    "access violation in task {task:?} on P{proc}: {}",
+                    AccessViolation { obj: *obj, op: *op }
+                )
             }
         }
     }
@@ -423,6 +509,7 @@ impl MapPlanner {
         // not fit (paper §3.3: "the allocation will stop after T_k if
         // space for T_{k+1} cannot be allocated").
         let mut allocs: Vec<ObjId> = Vec::new();
+        let mut alloc_pos: Vec<u32> = Vec::new();
         let mut next_map = pos;
         'window: for j in pos as usize..order.len() {
             // Volatiles first used at position j are exactly the ones this
@@ -453,6 +540,7 @@ impl MapPlanner {
                 let k = self.allocated.partition_point(|&x| x < d);
                 self.allocated.insert(k, d);
                 allocs.push(d);
+                alloc_pos.push(j as u32);
             }
             self.in_use += add;
             self.peak = self.peak.max(self.in_use);
@@ -473,7 +561,22 @@ impl MapPlanner {
         }
         notifies.sort_unstable_by_key(|n| (n.dst, n.obj));
 
-        Ok(MapAction { frees, allocs, next_map, notifies })
+        Ok(MapAction { frees, allocs, alloc_pos, next_map, notifies })
+    }
+
+    /// Undo one allocation committed by the most recent
+    /// [`MapPlanner::run_map`]: remove `d` from the allocated set and
+    /// release its units. The threaded executor's window-truncation path
+    /// calls this when the real arena cannot place a planned *lookahead*
+    /// allocation — the object is re-planned by the next MAP, after that
+    /// MAP's free wave has had a chance to coalesce room. The peak keeps
+    /// its high-water mark (it records what was planned, and the plan
+    /// never exceeds capacity).
+    pub fn rollback_alloc(&mut self, g: &TaskGraph, d: ObjId) {
+        if let Ok(k) = self.allocated.binary_search(&d) {
+            self.allocated.remove(k);
+            self.in_use -= g.obj_size(d);
+        }
     }
 }
 

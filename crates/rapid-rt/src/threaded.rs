@@ -43,11 +43,13 @@
 //!   mailbox hand-off each — no per-entry contention, no allocation in
 //!   steady state.
 
-use crate::maps::{ExecError, MapPlanner, RtPlan};
+use crate::inspector::{ProcDiag, StallSnapshot, StateBoard, WorkerState};
+use crate::maps::{AccessOp, AccessViolation, ExecError, MapPlanner, RtPlan};
 use rapid_core::graph::{ObjId, TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
 use rapid_machine::arena::{Arena, ArenaError};
-use rapid_machine::backoff::Backoff;
+use rapid_machine::backoff::{Backoff, Retry};
+use rapid_machine::fault::{FaultPlan, ProcFaults};
 use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
 use rapid_machine::rma::{FlagBoard, RmaHeap};
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
@@ -58,6 +60,32 @@ use std::time::{Duration, Instant};
 const NO_ADDR: u64 = u64::MAX;
 /// Sentinel for "object not in this task's access set".
 const NO_SLOT: u32 = u32::MAX;
+/// Bounded retries of a MAP-time arena allocation that failed with
+/// [`ArenaError::Fragmented`] before the window-truncation ladder kicks in.
+const FRAG_RETRIES: u32 = 8;
+/// Default stall watchdog when `RAPID_WATCHDOG_MS` is unset or invalid.
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Parse the `RAPID_WATCHDOG_MS` override: a positive integer number of
+/// milliseconds; anything else falls back to [`DEFAULT_WATCHDOG`]. Pure so
+/// it is testable without mutating process environment in parallel tests.
+fn parse_watchdog_ms(var: Option<&str>) -> Duration {
+    match var.and_then(|s| s.trim().parse::<u64>().ok()) {
+        Some(ms) if ms > 0 => Duration::from_millis(ms),
+        _ => DEFAULT_WATCHDOG,
+    }
+}
+
+/// Render a caught panic payload for [`ExecError::WorkerPanicked`].
+fn panic_payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}
 
 /// The buffers a task may touch while running: shared views of the objects
 /// it reads, exclusive views of the objects it writes (an object both read
@@ -107,8 +135,11 @@ impl<'h> TaskCtx<'h> {
         (self.reads, self.writes, self.slots)
     }
 
-    /// Buffer of a read object. Panics if the task does not read `d` (or
-    /// also writes it — use [`TaskCtx::write`]).
+    /// Buffer of a read object. If the task does not read `d` (or also
+    /// writes it — use [`TaskCtx::write`]), panics with a typed
+    /// [`AccessViolation`] payload; the threaded executor catches it at
+    /// the task boundary and returns
+    /// [`ExecError::AccessViolation`] instead of aborting the process.
     ///
     /// The returned borrow is tied to the underlying heap (`'h`), not to
     /// the context, so it can be held across a later [`TaskCtx::write`]
@@ -117,18 +148,19 @@ impl<'h> TaskCtx<'h> {
     pub fn read(&self, d: ObjId) -> &'h [f64] {
         let e = self.slots.get(d.idx()).copied().unwrap_or(NO_SLOT);
         if e == NO_SLOT || e & 1 == 1 {
-            panic!("task does not read-only {d:?}");
+            std::panic::panic_any(AccessViolation { obj: d, op: AccessOp::Read });
         }
         self.reads[(e >> 1) as usize].1
     }
 
     /// Mutable buffer of a written object (reads the previous content for
-    /// read-modify-write tasks). Panics if the task does not write `d`.
+    /// read-modify-write tasks). If the task does not write `d`, panics
+    /// with a typed [`AccessViolation`] payload (see [`TaskCtx::read`]).
     #[inline]
     pub fn write(&mut self, d: ObjId) -> &mut [f64] {
         let e = self.slots.get(d.idx()).copied().unwrap_or(NO_SLOT);
         if e == NO_SLOT || e & 1 == 0 {
-            panic!("task does not write {d:?}");
+            std::panic::panic_any(AccessViolation { obj: d, op: AccessOp::Write });
         }
         &mut *self.writes[(e >> 1) as usize].1
     }
@@ -168,7 +200,10 @@ pub struct ThreadedExecutor<'a> {
     capacity: u64,
     /// Watchdog: poison the run if no local progress (task completion,
     /// address arrival, or message hand-off) happens within this duration.
+    /// Defaults to 30 s, overridable through the `RAPID_WATCHDOG_MS`
+    /// environment variable or [`ThreadedExecutor::with_watchdog`].
     pub watchdog: Duration,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> ThreadedExecutor<'a> {
@@ -181,7 +216,24 @@ impl<'a> ThreadedExecutor<'a> {
             "threaded executor requires an owner-compute schedule"
         );
         let plan = RtPlan::new(g, sched);
-        ThreadedExecutor { g, sched, plan, capacity, watchdog: Duration::from_secs(30) }
+        let watchdog = parse_watchdog_ms(std::env::var("RAPID_WATCHDOG_MS").ok().as_deref());
+        ThreadedExecutor { g, sched, plan, capacity, watchdog, faults: None }
+    }
+
+    /// Override the stall watchdog (builder form; takes precedence over
+    /// the `RAPID_WATCHDOG_MS` default read by [`ThreadedExecutor::new`]).
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Inject a deterministic, seeded fault plan (chaos testing): mailbox
+    /// send rejection/delay, RMA put delay, transient allocation failure
+    /// and per-task worker jitter. Without a plan every injection site is
+    /// a single `Option` branch, so the fault-free hot path is unchanged.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Run the schedule, applying `body` to every task. Object buffers
@@ -236,6 +288,7 @@ impl<'a> ThreadedExecutor<'a> {
         let heaps: Vec<RmaHeap> = (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
         let flags = FlagBoard::new(self.plan.msgs.len());
         let mailboxes = MailboxBoard::new(nprocs);
+        let state = StateBoard::new(nprocs);
         let poison = AtomicBool::new(false);
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
         let error = &error;
@@ -249,8 +302,10 @@ impl<'a> ThreadedExecutor<'a> {
             heaps: &heaps,
             flags: &flags,
             mailboxes: &mailboxes,
+            state: &state,
             poison: &poison,
             watchdog: self.watchdog,
+            faults: self.faults.as_ref(),
             body: &body,
             init: &init,
         };
@@ -269,7 +324,24 @@ impl<'a> ThreadedExecutor<'a> {
         let per_proc: Vec<(u32, u64, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 (0..nprocs).map(|p| scope.spawn(move || worker(p, shared, fail))).collect();
-            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(p, h)| {
+                    // Task-body panics are caught inside the worker; a join
+                    // error therefore means the worker itself died (an
+                    // executor bug). Poison the run and surface it as a
+                    // typed error instead of aborting the process.
+                    h.join().unwrap_or_else(|payload| {
+                        fail(ExecError::WorkerPanicked {
+                            proc: p as u32,
+                            task: None,
+                            payload: panic_payload_str(payload.as_ref()),
+                        });
+                        (0, 0, 0)
+                    })
+                })
+                .collect()
         });
         let wall = started.elapsed();
 
@@ -278,7 +350,7 @@ impl<'a> ThreadedExecutor<'a> {
                 .lock()
                 .expect("error mutex poisoned")
                 .take()
-                .unwrap_or(ExecError::Stalled { remaining: 0 }));
+                .unwrap_or(ExecError::Stalled { remaining: 0, snapshot: None }));
         }
 
         // Gather final object contents from the owners' permanent buffers.
@@ -360,8 +432,10 @@ struct Shared<'e, F, I> {
     heaps: &'e [RmaHeap],
     flags: &'e FlagBoard,
     mailboxes: &'e MailboxBoard,
+    state: &'e StateBoard,
     poison: &'e AtomicBool,
     watchdog: Duration,
+    faults: Option<&'e FaultPlan>,
     body: &'e F,
     init: &'e I,
 }
@@ -429,6 +503,9 @@ struct Net<'e> {
     suspended: usize,
     /// Scratch for draining mailbox packages without allocation.
     ra_scratch: Vec<AddrEntry>,
+    /// Deterministic fault injector for this processor, when chaos runs
+    /// enable one ([`ThreadedExecutor::with_faults`]).
+    faults: Option<ProcFaults>,
 }
 
 impl<'e> Net<'e> {
@@ -459,6 +536,7 @@ impl<'e> Net<'e> {
             woken: Vec::new(),
             suspended: 0,
             ra_scratch: Vec::new(),
+            faults: sh.faults.map(|f| f.for_proc(p)),
         }
     }
 
@@ -472,12 +550,19 @@ impl<'e> Net<'e> {
 
     /// Try to send message `mid`; on failure returns the id of the first
     /// object whose destination address is still unknown.
-    fn try_send(&self, mid: u32) -> Result<(), u32> {
+    fn try_send(&mut self, mid: u32) -> Result<(), u32> {
         let msg = &self.plan.msgs[mid as usize];
         let base = msg.dst_proc as usize * self.nobj;
         for &d in &msg.objs {
             if self.known[base + d.idx()] == NO_ADDR {
                 return Err(d.0);
+            }
+        }
+        // Injected put delay: hold this message back so it lands late and
+        // reordered relative to the fault-free interleaving.
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(d) = f.put_delay() {
+                std::thread::sleep(d);
             }
         }
         for &d in &msg.objs {
@@ -553,6 +638,7 @@ where
     let heaps = sh.heaps;
     let flags = sh.flags;
 
+    sh.state.publish(p, WorkerState::Setup, 0, 0);
     let mut arena = Arena::new(sh.capacity);
     // Reproduce the deterministic permanent layout and load resident data.
     for d in g.objects() {
@@ -603,7 +689,10 @@ where
                 pacer.mark();
             } else {
                 if pacer.stalled(sh.watchdog) {
-                    fail(ExecError::Stalled { remaining: order.len() - pos as usize });
+                    fail(ExecError::Stalled {
+                        remaining: order.len() - pos as usize,
+                        snapshot: Some(Box::new(build_snapshot(p, sh))),
+                    });
                     return (planner.maps(), planner.peak(), arena.peak());
                 }
                 pacer.wait();
@@ -614,6 +703,7 @@ where
     while (pos as usize) < order.len() {
         // MAP state.
         if pos == next_map {
+            sh.state.publish(p, WorkerState::Map, pos, net.suspended as u32);
             let mut action = match planner.run_map(g, sched, plan, pos) {
                 Ok(a) => a,
                 Err(e) => {
@@ -627,25 +717,73 @@ where
                 net.local[d.idx()] = NO_ADDR;
                 arena.free(off).expect("live volatile frees cleanly");
             }
-            for d in &action.allocs {
-                match arena.alloc(g.obj_size(*d)) {
-                    Ok(off) => {
-                        net.local[d.idx()] = off;
+            // Place the planned allocations in the real arena. The
+            // counting planner guarantees the units fit, but a first-fit
+            // arena can still be transiently fragmented (and the fault
+            // layer can pretend it is). Degradation ladder: retry with
+            // bounded backoff while servicing RA/CQ, then truncate the
+            // allocation window at the first *lookahead* position that
+            // cannot be placed — those objects roll back and are
+            // re-planned by the (now earlier) next MAP, whose free wave
+            // may have coalesced room. Only the task at `pos` itself
+            // failing to place is a hard `Fragmented` error.
+            let mut truncated = false;
+            for (ai, &d) in action.allocs.iter().enumerate() {
+                let size = g.obj_size(d);
+                let mut retry = Retry::new(FRAG_RETRIES);
+                let off = loop {
+                    let injected = net.faults.as_mut().is_some_and(|f| f.alloc_fails());
+                    if !injected {
+                        match arena.alloc(size) {
+                            Ok(off) => break Some(off),
+                            Err(ArenaError::Fragmented { .. }) => {}
+                            Err(_) => {
+                                fail(ExecError::NonExecutable {
+                                    proc: p as u32,
+                                    position: pos,
+                                    needed: planner.in_use(),
+                                    capacity: sh.capacity,
+                                });
+                                return (planner.maps(), planner.peak(), arena.peak());
+                            }
+                        }
                     }
-                    Err(ArenaError::Fragmented { requested, .. }) => {
-                        fail(ExecError::Fragmented { proc: p as u32, requested });
+                    if sh.poison.load(AtOrd::Acquire) {
                         return (planner.maps(), planner.peak(), arena.peak());
                     }
-                    Err(_) => {
-                        fail(ExecError::NonExecutable {
+                    // Keep servicing RA/CQ between attempts so the system
+                    // keeps evolving while we wait (Theorem 1).
+                    if net.service() {
+                        pacer.mark();
+                    }
+                    if !retry.again() {
+                        break None;
+                    }
+                };
+                match off {
+                    Some(off) => net.local[d.idx()] = off,
+                    None if action.alloc_pos[ai] == pos => {
+                        fail(ExecError::Fragmented {
                             proc: p as u32,
-                            position: pos,
-                            needed: planner.in_use(),
-                            capacity: sh.capacity,
+                            requested: size,
+                            largest: arena.largest_free(),
                         });
                         return (planner.maps(), planner.peak(), arena.peak());
                     }
+                    None => {
+                        for &dd in &action.allocs[ai..] {
+                            planner.rollback_alloc(g, dd);
+                        }
+                        action.next_map = action.alloc_pos[ai];
+                        truncated = true;
+                        break;
+                    }
                 }
+            }
+            if truncated {
+                // Rolled-back objects have no address; their notifications
+                // are re-issued by the MAP that re-plans them.
+                action.notifies.retain(|n| net.local[n.obj as usize] != NO_ADDR);
             }
             next_map = action.next_map;
             // Fill in offsets; notifications arrive pre-sorted by
@@ -663,7 +801,18 @@ where
                     pkg_buf.push(AddrEntry { obj: n.obj, offset: n.offset });
                     i += 1;
                 }
-                while !sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
+                if let Some(f) = net.faults.as_mut() {
+                    if let Some(delay) = f.mailbox_delay() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                loop {
+                    // An injected rejection is handled exactly like a slot
+                    // the receiver has not drained yet.
+                    let rejected = net.faults.as_mut().is_some_and(|f| f.mailbox_reject());
+                    if !rejected && sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
+                        break;
+                    }
                     // Blocked in MAP: keep servicing RA/CQ so the system
                     // keeps evolving (Theorem 1).
                     spin_service!();
@@ -674,6 +823,7 @@ where
 
         let t = order[pos as usize];
         // REC state: wait for every incoming message.
+        sh.state.publish(p, WorkerState::Rec, pos, net.suspended as u32);
         for &mid in &plan.in_msgs[t.idx()] {
             if flags.is_raised(mid as usize) {
                 continue; // fast path: already arrived
@@ -686,6 +836,13 @@ where
 
         // EXE state.
         {
+            sh.state.publish(p, WorkerState::Exe, pos, net.suspended as u32);
+            // Injected worker stall: desynchronizes the interleaving.
+            if let Some(f) = net.faults.as_mut() {
+                if let Some(stall) = f.task_jitter() {
+                    std::thread::sleep(stall);
+                }
+            }
             let writes_ids = g.writes(t);
             for &d in writes_ids {
                 let d = ObjId(d);
@@ -712,11 +869,31 @@ where
                 std::mem::take(&mut ctx_writes),
                 std::mem::take(&mut slots),
             );
-            (sh.body)(t, &mut ctx);
+            // A panicking body must not abort the process: catch it at the
+            // task boundary, poison the run, and let every worker exit
+            // through the normal failure path. An [`AccessViolation`]
+            // payload (raised by the ctx accessors) keeps its type.
+            let body_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (sh.body)(t, &mut ctx);
+            }));
+            if let Err(payload) = body_ok {
+                fail(match payload.downcast::<AccessViolation>() {
+                    Ok(v) => {
+                        ExecError::AccessViolation { proc: p as u32, task: t, obj: v.obj, op: v.op }
+                    }
+                    Err(other) => ExecError::WorkerPanicked {
+                        proc: p as u32,
+                        task: Some(t),
+                        payload: panic_payload_str(other.as_ref()),
+                    },
+                });
+                return (planner.maps(), planner.peak(), arena.peak());
+            }
             (ctx_reads, ctx_writes, slots) = ctx.dismantle();
         }
 
         // SND state.
+        sh.state.publish(p, WorkerState::Snd, pos, net.suspended as u32);
         for &mid in &plan.out_msgs[t.idx()] {
             net.send_or_suspend(mid);
         }
@@ -729,9 +906,43 @@ where
 
     // END state: drain the suspended queue.
     while net.suspended > 0 {
+        sh.state.publish(p, WorkerState::End, pos, net.suspended as u32);
         spin_service!();
     }
+    sh.state.publish(p, WorkerState::Done, pos, 0);
     (planner.maps(), planner.peak(), arena.peak())
+}
+
+/// Assemble the stall diagnostic from the shared introspection surfaces:
+/// every worker's published state, suspended-send depth, and the
+/// occupancy of every address-mailbox slot. Called (rarely — watchdog
+/// expiry only) by the worker that detected the stall.
+fn build_snapshot<F, I>(reporter: usize, sh: &Shared<'_, F, I>) -> StallSnapshot {
+    let nprocs = sh.sched.assign.nprocs;
+    let procs = (0..nprocs)
+        .map(|q| {
+            let (state, pos, suspended) = sh.state.read(q);
+            let mailbox_full_to = (0..nprocs)
+                .filter(|&r| r != q && sh.mailboxes.slot(q, r).is_full())
+                .map(|r| r as u32)
+                .collect();
+            ProcDiag {
+                proc: q as u32,
+                state,
+                pos,
+                order_len: sh.sched.order[q].len() as u32,
+                suspended_sends: suspended,
+                mailbox_full_to,
+            }
+        })
+        .collect();
+    StallSnapshot {
+        reporter: reporter as u32,
+        watchdog_ms: sh.watchdog.as_millis() as u64,
+        msgs_arrived: sh.flags.raised_count(),
+        msgs_total: sh.plan.msgs.len(),
+        procs,
+    }
 }
 
 #[cfg(test)]
@@ -937,8 +1148,92 @@ mod tests {
             test_body(t, ctx)
         });
         match out {
-            Err(ExecError::Stalled { .. }) => {}
+            Err(ExecError::Stalled { snapshot, .. }) => {
+                let snap = snapshot.expect("watchdog failure carries a diagnostic snapshot");
+                assert_eq!(snap.procs.len(), 2);
+                assert_eq!(snap.watchdog_ms, 60);
+                // The render must be usable in a panic message.
+                assert!(snap.to_string().contains("P0"));
+            }
             other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_env_override_parses() {
+        assert_eq!(parse_watchdog_ms(None), DEFAULT_WATCHDOG);
+        assert_eq!(parse_watchdog_ms(Some("250")), Duration::from_millis(250));
+        assert_eq!(parse_watchdog_ms(Some(" 90000 ")), Duration::from_millis(90000));
+        assert_eq!(parse_watchdog_ms(Some("0")), DEFAULT_WATCHDOG);
+        assert_eq!(parse_watchdog_ms(Some("-5")), DEFAULT_WATCHDOG);
+        assert_eq!(parse_watchdog_ms(Some("soon")), DEFAULT_WATCHDOG);
+    }
+
+    #[test]
+    fn watchdog_builder_overrides_default() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_b();
+        let exec = ThreadedExecutor::new(&g, &sched, 64).with_watchdog(Duration::from_millis(1234));
+        assert_eq!(exec.watchdog, Duration::from_millis(1234));
+        let out = exec.run(test_body).unwrap();
+        assert_eq!(out.objects, run_sequential(&g, test_body));
+    }
+
+    #[test]
+    fn task_panic_is_reported_not_propagated() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_b();
+        let exec = ThreadedExecutor::new(&g, &sched, 64);
+        let out = exec.run(|t, ctx| {
+            if t == TaskId(3) {
+                panic!("boom in task body");
+            }
+            test_body(t, ctx)
+        });
+        match out {
+            Err(ExecError::WorkerPanicked { task: Some(t), payload, .. }) => {
+                assert_eq!(t, TaskId(3));
+                assert!(payload.contains("boom"), "payload was {payload:?}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn access_violation_is_typed_not_swallowed() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_b();
+        let victim = ObjId(0);
+        let exec = ThreadedExecutor::new(&g, &sched, 64);
+        let out = exec.run(move |t, ctx| {
+            if t == TaskId(5) {
+                // t5 does not write d1: wrong-set access.
+                ctx.write(victim);
+            }
+            test_body(t, ctx)
+        });
+        match out {
+            Err(ExecError::AccessViolation { task, obj, op, .. }) => {
+                assert_eq!(task, TaskId(5));
+                assert_eq!(obj, victim);
+                assert_eq!(op, AccessOp::Write);
+            }
+            other => panic!("expected AccessViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_run_matches_reference() {
+        // Smoke-level chaos (the full matrix lives in tests/chaos_stress.rs):
+        // every scenario on the Figure 2 DAG must still produce the
+        // sequential result.
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let reference = run_sequential(&g, test_body);
+        for (name, plan) in FaultPlan::scenarios(17) {
+            let exec = ThreadedExecutor::new(&g, &sched, 64).with_faults(plan);
+            let out = exec.run(test_body).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out.objects, reference, "{name}: results differ");
         }
     }
 }
