@@ -11,11 +11,14 @@
 //!
 //! Flags:
 //!
-//! - `--only <executor|kernels|scheduling>` — run a single section
+//! - `--only <executor|kernels|scheduling|trace>` — run a single section
 //!   (repeatable);
 //! - `--check` — shape-invariant CI mode: shrunken problem sizes, no
 //!   perf assertions and no files written; exits non-zero if any section
-//!   produces an empty, non-finite or duplicated measurement.
+//!   produces an empty, non-finite or duplicated measurement;
+//! - `--trace <out.json>` — run the Cholesky executor fixture with event
+//!   tracing and write the Chrome-trace/Perfetto JSON timeline to the
+//!   given path (open it at <https://ui.perfetto.dev>).
 
 use rapid_bench::timing::{bench_ns, fmt_ns};
 use rapid_core::fixtures::{self, random_irregular_graph, RandomGraphSpec};
@@ -23,6 +26,7 @@ use rapid_core::memreq::min_mem;
 use rapid_core::schedule::CostModel;
 use rapid_rt::threaded::{TaskCtx, ThreadedExecutor};
 use rapid_sparse::{gen, kernels, taskgen};
+use rapid_trace::{chrome_trace_json, TraceConfig};
 use std::fmt::Write as _;
 
 /// One named measurement destined for a JSON report.
@@ -126,6 +130,73 @@ fn executor_report() -> Vec<Entry> {
     }
 
     out
+}
+
+/// Enabled-path tracing overhead on the protocol-dominated executor
+/// fixture. The disabled path is the `executor` section itself (tracing
+/// is `Option`-gated and never constructed there); this section measures
+/// the same fixture both ways and reports the ratio.
+fn trace_report() -> Vec<Entry> {
+    let mut out = Vec::new();
+    let spec = RandomGraphSpec { objects: 48, tasks: 160, ..Default::default() };
+    let g = random_irregular_graph(11, &spec);
+    let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
+    let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
+    let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
+    let cap = min_mem(&g, &sched).min_mem + 8;
+
+    let plain = ThreadedExecutor::new(&g, &sched, cap);
+    let disabled = bench_ns(&mut || {
+        let _ = plain.run(body);
+    });
+    let traced = ThreadedExecutor::new(&g, &sched, cap).with_tracing(TraceConfig::default());
+    let mut events = 0u64;
+    let enabled = bench_ns(&mut || {
+        if let Ok(r) = traced.run(body) {
+            events = r.trace.as_ref().map_or(0, |t| t.total());
+        }
+    });
+    let overhead = enabled / disabled;
+    println!(
+        "trace/random-irregular-t160-p4: disabled {} enabled {} overhead {overhead:.2}x",
+        fmt_ns(disabled),
+        fmt_ns(enabled)
+    );
+    out.push(Entry {
+        name: "random-irregular-t160-p4/disabled".into(),
+        ns: disabled,
+        extra: vec![],
+    });
+    out.push(Entry {
+        name: "random-irregular-t160-p4/enabled".into(),
+        ns: enabled,
+        extra: vec![
+            ("overhead".into(), format!("{overhead:.3}")),
+            ("events".into(), events.to_string()),
+        ],
+    });
+    out
+}
+
+/// `--trace out.json`: one traced Cholesky run, exported for Perfetto.
+fn write_trace(path: &str) {
+    let a = gen::bcsstk_like(6, 6, 3, 3);
+    let model = taskgen::cholesky_2d_model(&a, 9, 4);
+    let assign = rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
+    let sched = rapid_sched::mpo::mpo_order(&model.graph, &assign, &CostModel::unit());
+    let rep = min_mem(&model.graph, &sched);
+    let exec = ThreadedExecutor::new(&model.graph, &sched, rep.min_mem + 512)
+        .with_tracing(TraceConfig::default());
+    let out =
+        exec.run_with_init(model.body(), model.init(&a)).expect("traced cholesky fixture must run");
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+    std::fs::write(path, chrome_trace_json(trace, Some(&model.graph)))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "wrote {path} ({} events across {} processors; open at https://ui.perfetto.dev)",
+        trace.total(),
+        trace.procs.len()
+    );
 }
 
 fn kernel_report(check: bool) -> Vec<Entry> {
@@ -322,27 +393,43 @@ fn check_entries(section: &str, entries: &[Entry]) {
 fn main() {
     let mut check = false;
     let mut only: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => check = true,
             "--only" => {
                 let v = args.next().unwrap_or_else(|| {
-                    eprintln!("--only needs a section: executor|kernels|scheduling");
+                    eprintln!("--only needs a section: executor|kernels|scheduling|trace");
                     std::process::exit(2);
                 });
                 match v.as_str() {
-                    "executor" | "kernels" | "scheduling" => only.push(v),
+                    "executor" | "kernels" | "scheduling" | "trace" => only.push(v),
                     _ => {
-                        eprintln!("unknown section {v:?}: executor|kernels|scheduling");
+                        eprintln!("unknown section {v:?}: executor|kernels|scheduling|trace");
                         std::process::exit(2);
                     }
                 }
             }
+            "--trace" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path, e.g. --trace out.json");
+                    std::process::exit(2);
+                }));
+            }
             _ => {
-                eprintln!("usage: bench [--check] [--only executor|kernels|scheduling]...");
+                eprintln!(
+                    "usage: bench [--check] [--only executor|kernels|scheduling|trace]... \
+                     [--trace out.json]"
+                );
                 std::process::exit(2);
             }
+        }
+    }
+    if let Some(path) = trace_out {
+        write_trace(&path);
+        if only.is_empty() && !check {
+            return;
         }
     }
     let wants = |s: &str| only.is_empty() || only.iter().any(|o| o == s);
@@ -377,6 +464,16 @@ fn main() {
             std::fs::write("BENCH_scheduling.json", json(&sched))
                 .expect("write BENCH_scheduling.json");
             written.push("BENCH_scheduling.json");
+        }
+    }
+    if wants("trace") {
+        println!("== trace ==");
+        let tr = trace_report();
+        if check {
+            check_entries("trace", &tr);
+        } else {
+            std::fs::write("BENCH_trace.json", json(&tr)).expect("write BENCH_trace.json");
+            written.push("BENCH_trace.json");
         }
     }
     if check {

@@ -33,6 +33,55 @@
 
 use std::time::Duration;
 
+/// An injection site, as reported to observers (trace layers, metrics).
+/// Each variant corresponds to one decision method on [`ProcFaults`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A mailbox send attempt was treated as if the slot were occupied.
+    MailboxReject,
+    /// A mailbox hand-off was delayed.
+    MailboxDelay,
+    /// A message's RMA puts were delayed.
+    PutDelay,
+    /// A MAP-time volatile allocation was reported transiently fragmented.
+    AllocFail,
+    /// A worker stalled before a task body.
+    TaskJitter,
+}
+
+impl FaultSite {
+    /// All sites, in the order used for injection counters.
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::MailboxReject,
+        FaultSite::MailboxDelay,
+        FaultSite::PutDelay,
+        FaultSite::AllocFail,
+        FaultSite::TaskJitter,
+    ];
+
+    /// Index into [`ProcFaults::injected`]-style counter arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            FaultSite::MailboxReject => 0,
+            FaultSite::MailboxDelay => 1,
+            FaultSite::PutDelay => 2,
+            FaultSite::AllocFail => 3,
+            FaultSite::TaskJitter => 4,
+        }
+    }
+
+    /// Short display name (trace export labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::MailboxReject => "mailbox-reject",
+            FaultSite::MailboxDelay => "mailbox-delay",
+            FaultSite::PutDelay => "put-delay",
+            FaultSite::AllocFail => "alloc-fail",
+            FaultSite::TaskJitter => "task-jitter",
+        }
+    }
+}
+
 /// Site tag for the mailbox send path.
 const SITE_MAILBOX: u64 = 0x6d61_696c;
 /// Site tag for the RMA put path.
@@ -213,6 +262,7 @@ impl FaultPlan {
             alloc: FaultStream::new(self.seed, p, SITE_ALLOC),
             task: FaultStream::new(self.seed, p, SITE_TASK),
             alloc_budget: self.spec.alloc_fail_budget,
+            injected: [0; 5],
         }
     }
 }
@@ -227,6 +277,8 @@ pub struct ProcFaults {
     alloc: FaultStream,
     task: FaultStream,
     alloc_budget: u32,
+    /// Injections fired so far, indexed by [`FaultSite::idx`].
+    injected: [u32; 5],
 }
 
 impl ProcFaults {
@@ -234,13 +286,18 @@ impl ProcFaults {
     /// occupied)?
     #[inline]
     pub fn mailbox_reject(&mut self) -> bool {
-        self.mailbox.hit(self.spec.mailbox_reject_permille)
+        let hit = self.mailbox.hit(self.spec.mailbox_reject_permille);
+        if hit {
+            self.injected[FaultSite::MailboxReject.idx()] += 1;
+        }
+        hit
     }
 
     /// Delay to apply before this mailbox hand-off, if any.
     #[inline]
     pub fn mailbox_delay(&mut self) -> Option<Duration> {
         if self.mailbox.hit(self.spec.mailbox_delay_permille) {
+            self.injected[FaultSite::MailboxDelay.idx()] += 1;
             Some(self.mailbox.jitter(self.spec.mailbox_delay_max))
         } else {
             None
@@ -251,6 +308,7 @@ impl ProcFaults {
     #[inline]
     pub fn put_delay(&mut self) -> Option<Duration> {
         if self.put.hit(self.spec.put_delay_permille) {
+            self.injected[FaultSite::PutDelay.idx()] += 1;
             Some(self.put.jitter(self.spec.put_delay_max))
         } else {
             None
@@ -263,6 +321,7 @@ impl ProcFaults {
     pub fn alloc_fails(&mut self) -> bool {
         if self.alloc_budget > 0 && self.alloc.hit(self.spec.alloc_fail_permille) {
             self.alloc_budget -= 1;
+            self.injected[FaultSite::AllocFail.idx()] += 1;
             true
         } else {
             false
@@ -273,10 +332,21 @@ impl ProcFaults {
     #[inline]
     pub fn task_jitter(&mut self) -> Option<Duration> {
         if self.task.hit(self.spec.task_jitter_permille) {
+            self.injected[FaultSite::TaskJitter.idx()] += 1;
             Some(self.task.jitter(self.spec.task_jitter_max))
         } else {
             None
         }
+    }
+
+    /// Injections fired so far at `site` on this processor.
+    pub fn injected(&self, site: FaultSite) -> u32 {
+        self.injected[site.idx()]
+    }
+
+    /// Total injections fired so far across all sites.
+    pub fn injected_total(&self) -> u32 {
+        self.injected.iter().sum()
     }
 }
 
@@ -338,6 +408,29 @@ mod tests {
         let mut f = plan.for_proc(2);
         let injected = (0..100).filter(|_| f.alloc_fails()).count();
         assert_eq!(injected, 5, "budget must cap certain-failure injection");
+    }
+
+    #[test]
+    fn injection_counters_track_fires() {
+        let plan = FaultPlan::new(
+            13,
+            FaultSpec {
+                mailbox_reject_permille: 1000,
+                alloc_fail_permille: 1000,
+                alloc_fail_budget: 3,
+                ..Default::default()
+            },
+        );
+        let mut f = plan.for_proc(0);
+        for _ in 0..10 {
+            let _ = f.mailbox_reject();
+            let _ = f.alloc_fails();
+            let _ = f.put_delay(); // 0‰: never fires, never counts
+        }
+        assert_eq!(f.injected(FaultSite::MailboxReject), 10);
+        assert_eq!(f.injected(FaultSite::AllocFail), 3, "budget caps the counter too");
+        assert_eq!(f.injected(FaultSite::PutDelay), 0);
+        assert_eq!(f.injected_total(), 13);
     }
 
     #[test]

@@ -18,9 +18,18 @@ use rapid_core::algo::OrdF64;
 use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::Schedule;
 use rapid_machine::config::MachineConfig;
-use rapid_machine::fault::{FaultPlan, ProcFaults};
+use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
+use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet, NO_OFFSET};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Virtual-time trace timestamp: simulated seconds scaled to integer
+/// nanoseconds (a unit-cost task spans 1 s of virtual time). Pure f64
+/// arithmetic on deterministic inputs, so seeded reruns stamp
+/// byte-identical traces.
+fn vts(now: f64) -> u64 {
+    (now.max(0.0) * 1e9).round() as u64
+}
 
 /// Executor configuration.
 #[derive(Clone, Debug)]
@@ -45,6 +54,10 @@ pub struct DesConfig {
     /// a wake event in the event system, manufacturing a deadlock the
     /// real machine cannot exhibit.
     pub faults: Option<FaultPlan>,
+    /// Per-processor event tracing. `None` (the default) records nothing.
+    /// Timestamps are virtual nanoseconds, so same-seed reruns produce
+    /// byte-identical traces.
+    pub trace: Option<TraceConfig>,
 }
 
 impl DesConfig {
@@ -56,6 +69,7 @@ impl DesConfig {
             window: MapWindow::Greedy,
             addr_buffering: false,
             faults: None,
+            trace: None,
         }
     }
 
@@ -67,6 +81,7 @@ impl DesConfig {
             window: MapWindow::Greedy,
             addr_buffering: false,
             faults: None,
+            trace: None,
         }
     }
 
@@ -86,6 +101,15 @@ impl DesConfig {
     /// [`DesConfig::faults`]).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enable per-processor event tracing. Note the trace checker's
+    /// address obligations assume the managed protocol; unmanaged runs
+    /// exchange all addresses up front and their traces legitimately
+    /// show sends with no preceding address package.
+    pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 }
@@ -111,6 +135,11 @@ pub struct DesOutcome {
     pub peak_queued_pkgs: usize,
     /// Per-task finish times (simulated seconds).
     pub finish: Vec<f64>,
+    /// Recorded event traces when [`DesConfig::trace`] was set.
+    pub trace: Option<TraceSet>,
+    /// Per-processor metrics aggregated from the trace (present exactly
+    /// when `trace` is).
+    pub metrics: Option<Vec<ProcMetrics>>,
 }
 
 impl DesOutcome {
@@ -153,6 +182,9 @@ struct ProcState {
     /// `(target_proc, obj)` pairs whose remote buffer address this
     /// processor has learned via RA.
     known: HashSet<(ProcId, u32)>,
+    /// A [`Event::MailboxBusy`] was already recorded for the package at
+    /// the head of `pending_pkgs` (avoid one event per wake-up).
+    busy_reported: bool,
 }
 
 /// The discrete-event executor. Owns nothing of the schedule; borrow it
@@ -200,8 +232,22 @@ impl<'a> DesExecutor<'a> {
                 pending_pkgs: VecDeque::new(),
                 suspended: VecDeque::new(),
                 known: HashSet::new(),
+                busy_reported: false,
             })
             .collect();
+
+        let mut traces: Option<Vec<ProcTrace>> =
+            self.cfg.trace.map(|tc| (0..nprocs as u32).map(|p| ProcTrace::new(p, tc)).collect());
+        // Per-(src, dst) address-package sequence numbers, counted
+        // independently by sender and receiver so the checker can match
+        // them up.
+        let mut send_seq: Vec<Vec<u32>> = vec![vec![0; nprocs]; nprocs];
+        let mut recv_seq: Vec<Vec<u32>> = vec![vec![0; nprocs]; nprocs];
+        if let Some(tr) = traces.as_mut() {
+            for t in tr.iter_mut() {
+                t.state(0, ProtoState::Setup);
+            }
+        }
 
         if !self.cfg.memory_mgmt {
             // Original RAPID: all volatile space allocated up front.
@@ -270,6 +316,14 @@ impl<'a> DesExecutor<'a> {
                     while matches!(row[pi].front(), Some((a, _)) if *a <= now) {
                         let (_, entries) = row[pi].pop_front().expect("checked above");
                         procs[pi].now += m.ra_cost;
+                        if let Some(tr) = traces.as_mut() {
+                            let sq = recv_seq[src][pi];
+                            recv_seq[src][pi] += 1;
+                            tr[pi].rec(
+                                vts(procs[pi].now),
+                                Event::PkgRecv { src: src as u32, seq: sq, objs: entries.clone() },
+                            );
+                        }
                         for obj in entries {
                             procs[pi].known.insert((src as ProcId, obj));
                         }
@@ -282,7 +336,19 @@ impl<'a> DesExecutor<'a> {
                 let mut still: VecDeque<u32> = VecDeque::new();
                 while let Some(mid) = procs[pi].suspended.pop_front() {
                     if self.sendable(&procs[pi].known, mid) {
-                        let arr = self.do_send(&mut procs[pi].now, mid, m, &mut pfaults[pi]);
+                        if let Some(tr) = traces.as_mut() {
+                            tr[pi].rec(vts(procs[pi].now), Event::CqRetry { msg: mid });
+                        }
+                        let arr = self.do_send(
+                            &mut procs[pi].now,
+                            mid,
+                            m,
+                            &mut pfaults[pi],
+                            traces.as_mut().map(|tr| &mut tr[pi]),
+                        );
+                        if let Some(tr) = traces.as_mut() {
+                            tr[pi].rec(vts(procs[pi].now), Event::SendOk { msg: mid });
+                        }
                         msg_arrival[mid as usize] = Some(arr);
                         msgs_sent += 1;
                         push(&mut events, &mut seq, arr, self.plan.msgs[mid as usize].dst_proc);
@@ -298,6 +364,11 @@ impl<'a> DesExecutor<'a> {
                         if procs[pi].pending_pkgs.is_empty() && procs[pi].pos == procs[pi].next_map
                         {
                             let pos = procs[pi].pos;
+                            if let Some(tr) = traces.as_mut() {
+                                let ts = vts(procs[pi].now);
+                                tr[pi].state(ts, ProtoState::Map);
+                                tr[pi].rec(ts, Event::MapBegin { pos });
+                            }
                             let action = procs[pi].planner.run_map_with(
                                 self.g,
                                 self.sched,
@@ -307,6 +378,31 @@ impl<'a> DesExecutor<'a> {
                             )?;
                             procs[pi].now += m.map_fixed_cost
                                 + m.alloc_cost * (action.frees.len() + action.allocs.len()) as f64;
+                            if let Some(tr) = traces.as_mut() {
+                                let ts = vts(procs[pi].now);
+                                // The DES places no real buffers; record
+                                // counting-only records with NO_OFFSET.
+                                for &d in &action.frees {
+                                    tr[pi].rec(
+                                        ts,
+                                        Event::Free {
+                                            obj: d.0,
+                                            units: self.g.obj_size(d),
+                                            offset: NO_OFFSET,
+                                        },
+                                    );
+                                }
+                                for &d in &action.allocs {
+                                    tr[pi].rec(
+                                        ts,
+                                        Event::Alloc {
+                                            obj: d.0,
+                                            units: self.g.obj_size(d),
+                                            offset: NO_OFFSET,
+                                        },
+                                    );
+                                }
+                            }
                             procs[pi].next_map = action.next_map;
                             // Group notifications by destination.
                             let mut by_dst: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
@@ -326,8 +422,18 @@ impl<'a> DesExecutor<'a> {
                             if !self.cfg.addr_buffering && !slots[pi][dst].is_empty() {
                                 // Blocked in MAP (paper §3.3); RA of the
                                 // destination will wake us.
+                                if !procs[pi].busy_reported {
+                                    procs[pi].busy_reported = true;
+                                    if let Some(tr) = traces.as_mut() {
+                                        tr[pi].rec(
+                                            vts(procs[pi].now),
+                                            Event::MailboxBusy { dst: dst as u32 },
+                                        );
+                                    }
+                                }
                                 break 'step;
                             }
+                            procs[pi].busy_reported = false;
                             procs[pi].now += m.addr_pkg_cost;
                             // Injected mailbox hand-off delay (virtual time).
                             let fault_lag = pfaults[pi]
@@ -337,12 +443,35 @@ impl<'a> DesExecutor<'a> {
                             let arrive = procs[pi].now + m.transfer_time(nobjs) + fault_lag;
                             let (_, objs) =
                                 procs[pi].pending_pkgs.pop_front().expect("front exists");
+                            if let Some(tr) = traces.as_mut() {
+                                let ts = vts(procs[pi].now);
+                                if fault_lag > 0.0 {
+                                    tr[pi].rec(ts, Event::Fault { site: FaultSite::MailboxDelay });
+                                }
+                                let sq = send_seq[pi][dst];
+                                send_seq[pi][dst] += 1;
+                                tr[pi].rec(
+                                    ts,
+                                    Event::PkgSend { dst: dst as u32, seq: sq, objs: objs.clone() },
+                                );
+                            }
                             slots[pi][dst].push_back((arrive, objs));
                             peak_queued = peak_queued.max(slots[pi][dst].len());
                             addr_pkgs_sent += 1;
                             push(&mut events, &mut seq, arrive, dst as u32);
                         }
                         if procs[pi].pending_pkgs.is_empty() {
+                            if let Some(tr) = traces.as_mut() {
+                                tr[pi].rec(
+                                    vts(procs[pi].now),
+                                    Event::MapEnd {
+                                        pos: procs[pi].pos,
+                                        next_map: procs[pi].next_map,
+                                        in_use: procs[pi].planner.in_use(),
+                                        arena_high: procs[pi].planner.peak(),
+                                    },
+                                );
+                            }
                             procs[pi].phase =
                                 if procs[pi].pos as usize == self.sched.order[pi].len() {
                                     Phase::End
@@ -354,6 +483,9 @@ impl<'a> DesExecutor<'a> {
                     Phase::Rec => {
                         let pos = procs[pi].pos as usize;
                         let t = self.sched.order[pi][pos];
+                        if let Some(tr) = traces.as_mut() {
+                            tr[pi].state(vts(procs[pi].now), ProtoState::Rec);
+                        }
                         // Wait for every incoming message.
                         let mut latest = procs[pi].now;
                         for &mid in &self.plan.in_msgs[t.idx()] {
@@ -364,20 +496,44 @@ impl<'a> DesExecutor<'a> {
                             }
                         }
                         procs[pi].now = latest;
+                        if let Some(tr) = traces.as_mut() {
+                            let ts = vts(procs[pi].now);
+                            for &mid in &self.plan.in_msgs[t.idx()] {
+                                tr[pi].rec(ts, Event::MsgRecv { msg: mid });
+                            }
+                        }
                         // EXE. Managed runs pay the address-table
                         // indirection for every object the task touches.
                         if self.cfg.memory_mgmt {
                             let naccess = self.g.reads(t).len() + self.g.writes(t).len();
                             procs[pi].now += m.addr_lookup_cost * naccess as f64;
                         }
+                        if let Some(tr) = traces.as_mut() {
+                            let ts = vts(procs[pi].now);
+                            tr[pi].state(ts, ProtoState::Exe);
+                            tr[pi].rec(ts, Event::TaskBegin { task: t.0, pos: pos as u32 });
+                        }
                         procs[pi].now += m.task_time(self.g.weight(t));
                         finish[t.idx()] = procs[pi].now;
                         done += 1;
+                        if let Some(tr) = traces.as_mut() {
+                            let ts = vts(procs[pi].now);
+                            tr[pi].rec(ts, Event::TaskEnd { task: t.0 });
+                            tr[pi].state(ts, ProtoState::Snd);
+                        }
                         // SND.
                         for &mid in &self.plan.out_msgs[t.idx()] {
                             if self.sendable(&procs[pi].known, mid) {
-                                let arr =
-                                    self.do_send(&mut procs[pi].now, mid, m, &mut pfaults[pi]);
+                                let arr = self.do_send(
+                                    &mut procs[pi].now,
+                                    mid,
+                                    m,
+                                    &mut pfaults[pi],
+                                    traces.as_mut().map(|tr| &mut tr[pi]),
+                                );
+                                if let Some(tr) = traces.as_mut() {
+                                    tr[pi].rec(vts(procs[pi].now), Event::SendOk { msg: mid });
+                                }
                                 msg_arrival[mid as usize] = Some(arr);
                                 msgs_sent += 1;
                                 push(
@@ -387,6 +543,21 @@ impl<'a> DesExecutor<'a> {
                                     self.plan.msgs[mid as usize].dst_proc,
                                 );
                             } else {
+                                if let Some(tr) = traces.as_mut() {
+                                    let msg = &self.plan.msgs[mid as usize];
+                                    let missing = msg
+                                        .objs
+                                        .iter()
+                                        .find(|&&d| {
+                                            self.sched.assign.owner_of(d) != msg.dst_proc
+                                                && !procs[pi].known.contains(&(msg.dst_proc, d.0))
+                                        })
+                                        .map_or(u32::MAX, |d| d.0);
+                                    tr[pi].rec(
+                                        vts(procs[pi].now),
+                                        Event::SendSuspend { msg: mid, missing },
+                                    );
+                                }
                                 suspended_ever.insert(mid);
                                 procs[pi].suspended.push_back(mid);
                             }
@@ -409,8 +580,14 @@ impl<'a> DesExecutor<'a> {
                         break 'step;
                     }
                     Phase::End => {
+                        if let Some(tr) = traces.as_mut() {
+                            tr[pi].state(vts(procs[pi].now), ProtoState::End);
+                        }
                         if procs[pi].suspended.is_empty() {
                             procs[pi].phase = Phase::Done;
+                            if let Some(tr) = traces.as_mut() {
+                                tr[pi].state(vts(procs[pi].now), ProtoState::Done);
+                            }
                             break 'step;
                         }
                         // Blocked until an address package arrives.
@@ -462,6 +639,8 @@ impl<'a> DesExecutor<'a> {
             return Err(ExecError::Stalled { remaining, snapshot: None });
         }
         let parallel_time = procs.iter().map(|s| s.now).fold(0.0f64, f64::max);
+        let trace = traces.map(TraceSet::new);
+        let metrics = trace.as_ref().map(ProcMetrics::from_traces);
         Ok(DesOutcome {
             parallel_time,
             maps: procs.iter().map(|s| s.planner.maps()).collect(),
@@ -471,6 +650,8 @@ impl<'a> DesExecutor<'a> {
             suspended_sends: suspended_ever.len(),
             peak_queued_pkgs: peak_queued,
             finish,
+            trace,
+            metrics,
         })
     }
 
@@ -494,6 +675,7 @@ impl<'a> DesExecutor<'a> {
         mid: u32,
         m: &MachineConfig,
         f: &mut Option<ProcFaults>,
+        tr: Option<&mut ProcTrace>,
     ) -> f64 {
         let msg = &self.plan.msgs[mid as usize];
         *now += m.put_overhead;
@@ -501,6 +683,11 @@ impl<'a> DesExecutor<'a> {
             *now += m.msg_lookup_cost;
         }
         let fault_lag = f.as_mut().and_then(|pf| pf.put_delay()).map_or(0.0, |d| d.as_secs_f64());
+        if fault_lag > 0.0 {
+            if let Some(t) = tr {
+                t.rec(vts(*now), Event::Fault { site: FaultSite::PutDelay });
+            }
+        }
         *now + m.transfer_time(msg.units) + fault_lag
     }
 }
@@ -724,6 +911,32 @@ mod tests {
             (c.parallel_time, c.finish.clone()),
             "different seeds should perturb the timeline"
         );
+    }
+
+    #[test]
+    fn traced_run_passes_the_checker_and_fills_metrics() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let machine = unit_machine(8); // tight: MAPs, packages, suspensions
+        let ex = DesExecutor::new(
+            &g,
+            &sched,
+            DesConfig::managed(machine).with_tracing(TraceConfig::default()),
+        );
+        let out = ex.run().unwrap();
+        let trace = out.trace.as_ref().expect("tracing enabled");
+        assert_eq!(trace.dropped(), 0);
+        let spec = ex.plan().trace_spec(8);
+        let rep = rapid_trace::check(&g, &sched, &spec, trace).expect("trace must be clean");
+        assert!(rep.complete);
+        assert_eq!(rep.tasks_run.iter().sum::<usize>(), g.num_tasks());
+        assert_eq!(rep.maps, out.maps, "replayed MAP count must match the outcome");
+        let metrics = out.metrics.as_ref().expect("metrics follow the trace");
+        assert_eq!(metrics.iter().map(|mm| mm.tasks as usize).sum::<usize>(), g.num_tasks());
+        assert!(metrics.iter().any(|mm| mm.pkgs_sent > 0));
+        // Untraced runs stay lean.
+        let bare = run_managed(&g, &sched, unit_machine(8)).unwrap();
+        assert!(bare.trace.is_none() && bare.metrics.is_none());
     }
 
     #[test]

@@ -227,6 +227,10 @@ pub struct StallSnapshot {
     pub msgs_total: usize,
     /// One row per processor.
     pub procs: Vec<ProcDiag>,
+    /// The tail of the reporting worker's event trace (pre-rendered
+    /// `"<ms> <event>"` lines), when the run was recording one — what the
+    /// stuck worker did right before the silence. Empty otherwise.
+    pub recent_events: Vec<String>,
 }
 
 impl std::fmt::Display for StallSnapshot {
@@ -246,6 +250,12 @@ impl std::fmt::Display for StallSnapshot {
                 write!(f, ", undrained packages to {:?}", d.mailbox_full_to)?;
             }
             writeln!(f)?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last events on P{}:", self.reporter)?;
+            for line in &self.recent_events {
+                writeln!(f, "    {line}")?;
+            }
         }
         Ok(())
     }
@@ -317,6 +327,7 @@ mod tests {
                     mailbox_full_to: vec![],
                 },
             ],
+            recent_events: vec!["1.250ms MsgRecv { msg: 4 }".into()],
         };
         let text = s.to_string();
         assert!(text.contains("reported by P1"));
@@ -324,6 +335,8 @@ mod tests {
         assert!(text.contains("P0: Map at 2/5"));
         assert!(text.contains("undrained packages to [1]"));
         assert!(text.contains("P1: Rec at 3/4"));
+        assert!(text.contains("last events on P1"));
+        assert!(text.contains("MsgRecv { msg: 4 }"));
     }
 
     #[test]

@@ -207,6 +207,32 @@ impl RtPlan {
         self.msgs.iter().filter(|m| !m.objs.is_empty()).count()
     }
 
+    /// The plain-data protocol description the trace invariant checker
+    /// replays against ([`rapid_trace::check::check`]). `capacity` is the
+    /// per-processor memory cap the run executed under. Executors running
+    /// the buffered-mailbox ablation set
+    /// [`rapid_trace::ProtocolSpec::buffered_mailboxes`] on the result
+    /// themselves.
+    pub fn trace_spec(&self, capacity: u64) -> rapid_trace::ProtocolSpec {
+        rapid_trace::ProtocolSpec {
+            nprocs: self.perm_units.len(),
+            msgs: self
+                .msgs
+                .iter()
+                .map(|m| rapid_trace::MsgSpec {
+                    src_proc: m.src_proc,
+                    dst_proc: m.dst_proc,
+                    objs: m.objs.iter().map(|d| d.0).collect(),
+                })
+                .collect(),
+            in_msgs: self.in_msgs.clone(),
+            out_msgs: self.out_msgs.clone(),
+            capacity,
+            perm_units: self.perm_units.clone(),
+            buffered_mailboxes: false,
+        }
+    }
+
     /// Estimated storage for the dependence structure itself, in
     /// allocation units (8-byte words): edges, access sets, message
     /// tables and liveness tables. The paper's §6 observes this overhead

@@ -49,9 +49,10 @@ use rapid_core::graph::{ObjId, TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
 use rapid_machine::arena::{Arena, ArenaError};
 use rapid_machine::backoff::{Backoff, Retry};
-use rapid_machine::fault::{FaultPlan, ProcFaults};
+use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
 use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
 use rapid_machine::rma::{FlagBoard, RmaHeap};
+use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet};
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -190,6 +191,12 @@ pub struct ThreadedOutcome {
     pub objects: Vec<Vec<f64>>,
     /// Wall-clock duration of the parallel section.
     pub wall: Duration,
+    /// Recorded event traces, when [`ThreadedExecutor::with_tracing`] was
+    /// enabled (one ring per processor).
+    pub trace: Option<TraceSet>,
+    /// Per-processor aggregates replayed from the trace (present exactly
+    /// when `trace` is).
+    pub metrics: Option<Vec<ProcMetrics>>,
 }
 
 /// The threaded executor.
@@ -204,6 +211,7 @@ pub struct ThreadedExecutor<'a> {
     /// environment variable or [`ThreadedExecutor::with_watchdog`].
     pub watchdog: Duration,
     faults: Option<FaultPlan>,
+    tracing: Option<TraceConfig>,
 }
 
 impl<'a> ThreadedExecutor<'a> {
@@ -217,7 +225,22 @@ impl<'a> ThreadedExecutor<'a> {
         );
         let plan = RtPlan::new(g, sched);
         let watchdog = parse_watchdog_ms(std::env::var("RAPID_WATCHDOG_MS").ok().as_deref());
-        ThreadedExecutor { g, sched, plan, capacity, watchdog, faults: None }
+        ThreadedExecutor { g, sched, plan, capacity, watchdog, faults: None, tracing: None }
+    }
+
+    /// The protocol plan this executor runs. Pair with
+    /// [`RtPlan::trace_spec`] to build the [`rapid_trace::ProtocolSpec`]
+    /// the invariant checker replays a recorded trace against.
+    pub fn plan(&self) -> &RtPlan {
+        &self.plan
+    }
+
+    /// Record a per-processor event trace during the run (builder form).
+    /// Every record site is a single `Option` branch, so runs without
+    /// this call keep the untraced hot path.
+    pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
+        self.tracing = Some(cfg);
+        self
     }
 
     /// Override the stall watchdog (builder form; takes precedence over
@@ -293,6 +316,7 @@ impl<'a> ThreadedExecutor<'a> {
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
         let error = &error;
 
+        let epoch = Instant::now();
         let shared = Shared {
             g,
             sched,
@@ -306,6 +330,8 @@ impl<'a> ThreadedExecutor<'a> {
             poison: &poison,
             watchdog: self.watchdog,
             faults: self.faults.as_ref(),
+            tracing: self.tracing,
+            epoch,
             body: &body,
             init: &init,
         };
@@ -320,8 +346,7 @@ impl<'a> ThreadedExecutor<'a> {
         };
         let fail = &fail;
 
-        let started = Instant::now();
-        let per_proc: Vec<(u32, u64, u64)> = std::thread::scope(|scope| {
+        let per_proc: Vec<(u32, u64, u64, Option<ProcTrace>)> = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 (0..nprocs).map(|p| scope.spawn(move || worker(p, shared, fail))).collect();
             handles
@@ -338,12 +363,12 @@ impl<'a> ThreadedExecutor<'a> {
                             task: None,
                             payload: panic_payload_str(payload.as_ref()),
                         });
-                        (0, 0, 0)
+                        (0, 0, 0, None)
                     })
                 })
                 .collect()
         });
-        let wall = started.elapsed();
+        let wall = epoch.elapsed();
 
         if poison.load(AtOrd::Acquire) {
             return Err(error
@@ -363,13 +388,26 @@ impl<'a> ThreadedExecutor<'a> {
             })
             .collect();
 
-        Ok(ThreadedOutcome {
-            maps: per_proc.iter().map(|&(m, _, _)| m).collect(),
-            peak_mem: per_proc.iter().map(|&(_, pk, _)| pk).collect(),
-            arena_peak: per_proc.iter().map(|&(_, _, ap)| ap).collect(),
-            objects,
-            wall,
-        })
+        let maps = per_proc.iter().map(|&(m, _, _, _)| m).collect();
+        let peak_mem = per_proc.iter().map(|&(_, pk, _, _)| pk).collect();
+        let arena_peak = per_proc.iter().map(|&(_, _, ap, _)| ap).collect();
+        let trace = if self.tracing.is_some() {
+            let procs: Vec<ProcTrace> = per_proc
+                .into_iter()
+                .enumerate()
+                .map(|(p, (_, _, _, t))| {
+                    t.unwrap_or_else(|| {
+                        ProcTrace::new(p as u32, self.tracing.expect("tracing enabled"))
+                    })
+                })
+                .collect();
+            Some(TraceSet::new(procs))
+        } else {
+            None
+        };
+        let metrics = trace.as_ref().map(ProcMetrics::from_traces);
+
+        Ok(ThreadedOutcome { maps, peak_mem, arena_peak, objects, wall, trace, metrics })
     }
 }
 
@@ -436,8 +474,34 @@ struct Shared<'e, F, I> {
     poison: &'e AtomicBool,
     watchdog: Duration,
     faults: Option<&'e FaultPlan>,
+    tracing: Option<TraceConfig>,
+    /// Epoch of the parallel section; trace timestamps are nanoseconds
+    /// since this instant.
+    epoch: Instant,
     body: &'e F,
     init: &'e I,
+}
+
+/// Worker-owned tracer: the per-processor event ring plus the run epoch
+/// its timestamps are relative to. Wrapped in `Option` everywhere it is
+/// consulted, so the untraced hot path pays one predictable branch.
+struct Tr {
+    t: ProcTrace,
+    t0: Instant,
+}
+
+impl Tr {
+    #[inline]
+    fn rec(&mut self, ev: Event) {
+        let ts = self.t0.elapsed().as_nanos() as u64;
+        self.t.rec(ts, ev);
+    }
+
+    #[inline]
+    fn state(&mut self, s: ProtoState) {
+        let ts = self.t0.elapsed().as_nanos() as u64;
+        self.t.state(ts, s);
+    }
 }
 
 /// Progress pacing for a worker's blocking waits: tiered backoff plus the
@@ -506,6 +570,13 @@ struct Net<'e> {
     /// Deterministic fault injector for this processor, when chaos runs
     /// enable one ([`ThreadedExecutor::with_faults`]).
     faults: Option<ProcFaults>,
+    /// Event recorder, when [`ThreadedExecutor::with_tracing`] is on.
+    tr: Option<Tr>,
+    /// `pkg_send_seq[dst]`: address packages deposited toward `dst` so
+    /// far (trace sequence numbers; only maintained while tracing).
+    pkg_send_seq: Vec<u32>,
+    /// `pkg_recv_seq[src]`: address packages drained from `src` so far.
+    pkg_recv_seq: Vec<u32>,
 }
 
 impl<'e> Net<'e> {
@@ -537,6 +608,9 @@ impl<'e> Net<'e> {
             suspended: 0,
             ra_scratch: Vec::new(),
             faults: sh.faults.map(|f| f.for_proc(p)),
+            tr: None,
+            pkg_send_seq: vec![0; nprocs],
+            pkg_recv_seq: vec![0; nprocs],
         }
     }
 
@@ -562,6 +636,9 @@ impl<'e> Net<'e> {
         // reordered relative to the fault-free interleaving.
         if let Some(f) = self.faults.as_mut() {
             if let Some(d) = f.put_delay() {
+                if let Some(tr) = self.tr.as_mut() {
+                    tr.rec(Event::Fault { site: FaultSite::PutDelay });
+                }
                 std::thread::sleep(d);
             }
         }
@@ -579,12 +656,18 @@ impl<'e> Net<'e> {
             }
         }
         self.flags.raise(mid as usize);
+        if let Some(tr) = self.tr.as_mut() {
+            tr.rec(Event::SendOk { msg: mid });
+        }
         Ok(())
     }
 
     /// SND: send `mid` now, or park it on its first missing address.
     fn send_or_suspend(&mut self, mid: u32) {
         if let Err(missing) = self.try_send(mid) {
+            if let Some(tr) = self.tr.as_mut() {
+                tr.rec(Event::SendSuspend { msg: mid, missing });
+            }
             self.waiters[missing as usize].push(mid);
             self.suspended += 1;
         }
@@ -600,15 +683,29 @@ impl<'e> Net<'e> {
         let known = &mut self.known;
         let waiters = &mut self.waiters;
         let woken = &mut self.woken;
+        let tr = &mut self.tr;
+        let recv_seq = &mut self.pkg_recv_seq;
         let drained = mb.drain_for_into(p, &mut self.ra_scratch, |src, entries| {
             let base = src * nobj;
             for e in entries {
                 known[base + e.obj as usize] = e.offset;
                 woken.append(&mut waiters[e.obj as usize]);
             }
+            if let Some(tr) = tr.as_mut() {
+                let seq = recv_seq[src];
+                recv_seq[src] = seq + 1;
+                tr.rec(Event::PkgRecv {
+                    src: src as u32,
+                    seq,
+                    objs: entries.iter().map(|e| e.obj).collect(),
+                });
+            }
         });
         let mut progress = drained > 0;
         while let Some(mid) = self.woken.pop() {
+            if let Some(tr) = self.tr.as_mut() {
+                tr.rec(Event::CqRetry { msg: mid });
+            }
             match self.try_send(mid) {
                 Ok(()) => {
                     self.suspended -= 1;
@@ -622,12 +719,12 @@ impl<'e> Net<'e> {
     }
 }
 
-/// Per-thread worker: returns `(maps, peak_units, arena_peak)`.
+/// Per-thread worker: returns `(maps, peak_units, arena_peak, trace)`.
 fn worker<F, I>(
     p: usize,
     sh: &Shared<'_, F, I>,
     fail: &(impl Fn(ExecError) + Sync),
-) -> (u32, u64, u64)
+) -> (u32, u64, u64, Option<ProcTrace>)
 where
     F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
     I: Fn(ObjId, &mut [f64]) + Sync,
@@ -638,6 +735,10 @@ where
     let heaps = sh.heaps;
     let flags = sh.flags;
 
+    let mut tr = sh.tracing.map(|cfg| Tr { t: ProcTrace::new(p as u32, cfg), t0: sh.epoch });
+    if let Some(tr) = tr.as_mut() {
+        tr.state(ProtoState::Setup);
+    }
     sh.state.publish(p, WorkerState::Setup, 0, 0);
     let mut arena = Arena::new(sh.capacity);
     // Reproduce the deterministic permanent layout and load resident data.
@@ -659,7 +760,7 @@ where
                         needed: plan.perm_units[p],
                         capacity: sh.capacity,
                     });
-                    return (0, 0, arena.peak());
+                    return (0, 0, arena.peak(), tr.map(|t| t.t));
                 }
             }
         }
@@ -667,6 +768,7 @@ where
 
     let mut planner = MapPlanner::new(p as u32, sh.capacity, plan.perm_units[p]);
     let mut net = Net::new(p, sh);
+    net.tr = tr;
 
     // Pooled task-context parts (no allocation in steady state).
     let mut ctx_reads: Vec<(u32, &[f64])> = Vec::new();
@@ -680,10 +782,16 @@ where
     let mut next_map: u32 = 0;
     let mut pacer = Pacer::new();
 
+    macro_rules! bail {
+        () => {
+            return (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(|t| t.t))
+        };
+    }
+
     macro_rules! spin_service {
         () => {
             if sh.poison.load(AtOrd::Acquire) {
-                return (planner.maps(), planner.peak(), arena.peak());
+                bail!();
             }
             if net.service() {
                 pacer.mark();
@@ -691,9 +799,13 @@ where
                 if pacer.stalled(sh.watchdog) {
                     fail(ExecError::Stalled {
                         remaining: order.len() - pos as usize,
-                        snapshot: Some(Box::new(build_snapshot(p, sh))),
+                        snapshot: Some(Box::new(build_snapshot(
+                            p,
+                            sh,
+                            net.tr.as_ref().map(|t| &t.t),
+                        ))),
                     });
-                    return (planner.maps(), planner.peak(), arena.peak());
+                    bail!();
                 }
                 pacer.wait();
             }
@@ -704,11 +816,15 @@ where
         // MAP state.
         if pos == next_map {
             sh.state.publish(p, WorkerState::Map, pos, net.suspended as u32);
+            if let Some(tr) = net.tr.as_mut() {
+                tr.state(ProtoState::Map);
+                tr.rec(Event::MapBegin { pos });
+            }
             let mut action = match planner.run_map(g, sched, plan, pos) {
                 Ok(a) => a,
                 Err(e) => {
                     fail(e);
-                    return (planner.maps(), planner.peak(), arena.peak());
+                    bail!();
                 }
             };
             for d in &action.frees {
@@ -716,6 +832,9 @@ where
                 assert_ne!(off, NO_ADDR, "freed volatile was live");
                 net.local[d.idx()] = NO_ADDR;
                 arena.free(off).expect("live volatile frees cleanly");
+                if let Some(tr) = net.tr.as_mut() {
+                    tr.rec(Event::Free { obj: d.0, units: g.obj_size(*d), offset: off });
+                }
             }
             // Place the planned allocations in the real arena. The
             // counting planner guarantees the units fit, but a first-fit
@@ -733,7 +852,11 @@ where
                 let mut retry = Retry::new(FRAG_RETRIES);
                 let off = loop {
                     let injected = net.faults.as_mut().is_some_and(|f| f.alloc_fails());
-                    if !injected {
+                    if injected {
+                        if let Some(tr) = net.tr.as_mut() {
+                            tr.rec(Event::Fault { site: FaultSite::AllocFail });
+                        }
+                    } else {
                         match arena.alloc(size) {
                             Ok(off) => break Some(off),
                             Err(ArenaError::Fragmented { .. }) => {}
@@ -744,12 +867,12 @@ where
                                     needed: planner.in_use(),
                                     capacity: sh.capacity,
                                 });
-                                return (planner.maps(), planner.peak(), arena.peak());
+                                bail!();
                             }
                         }
                     }
                     if sh.poison.load(AtOrd::Acquire) {
-                        return (planner.maps(), planner.peak(), arena.peak());
+                        bail!();
                     }
                     // Keep servicing RA/CQ between attempts so the system
                     // keeps evolving while we wait (Theorem 1).
@@ -761,16 +884,26 @@ where
                     }
                 };
                 match off {
-                    Some(off) => net.local[d.idx()] = off,
+                    Some(off) => {
+                        net.local[d.idx()] = off;
+                        if let Some(tr) = net.tr.as_mut() {
+                            tr.rec(Event::Alloc { obj: d.0, units: size, offset: off });
+                        }
+                    }
                     None if action.alloc_pos[ai] == pos => {
                         fail(ExecError::Fragmented {
                             proc: p as u32,
                             requested: size,
                             largest: arena.largest_free(),
                         });
-                        return (planner.maps(), planner.peak(), arena.peak());
+                        bail!();
                     }
                     None => {
+                        // The failing object and everything after it were
+                        // never placed, so no Alloc events were recorded
+                        // for them — the trace replay's accounting stays
+                        // consistent with the planner rollback without any
+                        // compensating event.
                         for &dd in &action.allocs[ai..] {
                             planner.rollback_alloc(g, dd);
                         }
@@ -801,35 +934,75 @@ where
                     pkg_buf.push(AddrEntry { obj: n.obj, offset: n.offset });
                     i += 1;
                 }
+                let pkg_objs: Option<Vec<u32>> =
+                    net.tr.as_ref().map(|_| pkg_buf.iter().map(|e| e.obj).collect());
                 if let Some(f) = net.faults.as_mut() {
                     if let Some(delay) = f.mailbox_delay() {
+                        if let Some(tr) = net.tr.as_mut() {
+                            tr.rec(Event::Fault { site: FaultSite::MailboxDelay });
+                        }
                         std::thread::sleep(delay);
                     }
                 }
+                let mut reported_busy = false;
                 loop {
                     // An injected rejection is handled exactly like a slot
                     // the receiver has not drained yet.
                     let rejected = net.faults.as_mut().is_some_and(|f| f.mailbox_reject());
-                    if !rejected && sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
+                    if rejected {
+                        if let Some(tr) = net.tr.as_mut() {
+                            tr.rec(Event::Fault { site: FaultSite::MailboxReject });
+                        }
+                    } else if sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
                         break;
+                    }
+                    if !reported_busy {
+                        reported_busy = true;
+                        if let Some(tr) = net.tr.as_mut() {
+                            tr.rec(Event::MailboxBusy { dst });
+                        }
                     }
                     // Blocked in MAP: keep servicing RA/CQ so the system
                     // keeps evolving (Theorem 1).
                     spin_service!();
                 }
+                if let Some(objs) = pkg_objs {
+                    let seq = net.pkg_send_seq[dst as usize];
+                    net.pkg_send_seq[dst as usize] = seq + 1;
+                    if let Some(tr) = net.tr.as_mut() {
+                        tr.rec(Event::PkgSend { dst, seq, objs });
+                    }
+                }
                 pacer.mark();
+            }
+            if let Some(tr) = net.tr.as_mut() {
+                tr.rec(Event::MapEnd {
+                    pos,
+                    next_map,
+                    in_use: planner.in_use(),
+                    arena_high: arena.peak(),
+                });
             }
         }
 
         let t = order[pos as usize];
         // REC state: wait for every incoming message.
         sh.state.publish(p, WorkerState::Rec, pos, net.suspended as u32);
+        if let Some(tr) = net.tr.as_mut() {
+            tr.state(ProtoState::Rec);
+        }
         for &mid in &plan.in_msgs[t.idx()] {
             if flags.is_raised(mid as usize) {
+                if let Some(tr) = net.tr.as_mut() {
+                    tr.rec(Event::MsgRecv { msg: mid });
+                }
                 continue; // fast path: already arrived
             }
             while !flags.is_raised(mid as usize) {
                 spin_service!();
+            }
+            if let Some(tr) = net.tr.as_mut() {
+                tr.rec(Event::MsgRecv { msg: mid });
             }
             pacer.mark();
         }
@@ -837,9 +1010,15 @@ where
         // EXE state.
         {
             sh.state.publish(p, WorkerState::Exe, pos, net.suspended as u32);
+            if let Some(tr) = net.tr.as_mut() {
+                tr.state(ProtoState::Exe);
+            }
             // Injected worker stall: desynchronizes the interleaving.
             if let Some(f) = net.faults.as_mut() {
                 if let Some(stall) = f.task_jitter() {
+                    if let Some(tr) = net.tr.as_mut() {
+                        tr.rec(Event::Fault { site: FaultSite::TaskJitter });
+                    }
                     std::thread::sleep(stall);
                 }
             }
@@ -869,6 +1048,9 @@ where
                 std::mem::take(&mut ctx_writes),
                 std::mem::take(&mut slots),
             );
+            if let Some(tr) = net.tr.as_mut() {
+                tr.rec(Event::TaskBegin { task: t.0, pos });
+            }
             // A panicking body must not abort the process: catch it at the
             // task boundary, poison the run, and let every worker exit
             // through the normal failure path. An [`AccessViolation`]
@@ -887,13 +1069,19 @@ where
                         payload: panic_payload_str(other.as_ref()),
                     },
                 });
-                return (planner.maps(), planner.peak(), arena.peak());
+                bail!();
+            }
+            if let Some(tr) = net.tr.as_mut() {
+                tr.rec(Event::TaskEnd { task: t.0 });
             }
             (ctx_reads, ctx_writes, slots) = ctx.dismantle();
         }
 
         // SND state.
         sh.state.publish(p, WorkerState::Snd, pos, net.suspended as u32);
+        if let Some(tr) = net.tr.as_mut() {
+            tr.state(ProtoState::Snd);
+        }
         for &mid in &plan.out_msgs[t.idx()] {
             net.send_or_suspend(mid);
         }
@@ -905,19 +1093,31 @@ where
     }
 
     // END state: drain the suspended queue.
+    if let Some(tr) = net.tr.as_mut() {
+        tr.state(ProtoState::End);
+    }
     while net.suspended > 0 {
         sh.state.publish(p, WorkerState::End, pos, net.suspended as u32);
         spin_service!();
     }
     sh.state.publish(p, WorkerState::Done, pos, 0);
-    (planner.maps(), planner.peak(), arena.peak())
+    if let Some(tr) = net.tr.as_mut() {
+        tr.state(ProtoState::Done);
+    }
+    (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(|t| t.t))
 }
 
 /// Assemble the stall diagnostic from the shared introspection surfaces:
 /// every worker's published state, suspended-send depth, and the
-/// occupancy of every address-mailbox slot. Called (rarely — watchdog
-/// expiry only) by the worker that detected the stall.
-fn build_snapshot<F, I>(reporter: usize, sh: &Shared<'_, F, I>) -> StallSnapshot {
+/// occupancy of every address-mailbox slot — plus, when the reporting
+/// worker traces, the tail of its event ring (what it was doing right
+/// before the silence). Called (rarely — watchdog expiry only) by the
+/// worker that detected the stall.
+fn build_snapshot<F, I>(
+    reporter: usize,
+    sh: &Shared<'_, F, I>,
+    trace: Option<&ProcTrace>,
+) -> StallSnapshot {
     let nprocs = sh.sched.assign.nprocs;
     let procs = (0..nprocs)
         .map(|q| {
@@ -936,12 +1136,21 @@ fn build_snapshot<F, I>(reporter: usize, sh: &Shared<'_, F, I>) -> StallSnapshot
             }
         })
         .collect();
+    let recent_events = trace
+        .map(|t| {
+            t.tail(16)
+                .into_iter()
+                .map(|(ts, ev)| format!("{:.3}ms {ev:?}", ts as f64 / 1e6))
+                .collect()
+        })
+        .unwrap_or_default();
     StallSnapshot {
         reporter: reporter as u32,
         watchdog_ms: sh.watchdog.as_millis() as u64,
         msgs_arrived: sh.flags.raised_count(),
         msgs_total: sh.plan.msgs.len(),
         procs,
+        recent_events,
     }
 }
 

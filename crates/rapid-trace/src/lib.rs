@@ -1,0 +1,37 @@
+//! `rapid-trace` — the observability layer of the RAPID runtime.
+//!
+//! Three pieces, stacked:
+//!
+//! * [`event`]: typed protocol events ([`Event`]) recorded into
+//!   per-processor fixed-capacity ring buffers ([`ProcTrace`]). Each
+//!   worker owns its ring outright, so recording takes no locks; the
+//!   executors gate every record site behind an `Option`, so a run with
+//!   tracing disabled pays nothing.
+//! * [`check`]: a replayable invariant checker ([`check::check`]) that
+//!   asserts the Theorem-1 obligations on a recorded trace — no remote
+//!   write before the matching address package, single-slot mailboxes
+//!   never clobbered, volatile lifetimes respected, the memory cap and
+//!   the counting accounting both honored at every MAP — plus the
+//!   timing-independent [`check::skeleton`] projection the differential
+//!   threaded-vs-DES conformance tests compare.
+//! * [`metrics`] and [`export`]: per-processor aggregates
+//!   ([`ProcMetrics`]) and Chrome-trace/Perfetto JSON
+//!   ([`chrome_trace_json`]) for human eyes.
+//!
+//! The crate depends only on `rapid-core` (graph/schedule/liveness) and
+//! `rapid-machine` (fault sites); the runtime depends on *it*, handing
+//! the checker a plain-data [`ProtocolSpec`] built from its plan.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod event;
+pub mod export;
+pub mod metrics;
+
+pub use check::{
+    check, skeleton, skeletons, CanonEvent, MsgSpec, ProtocolSpec, TraceReport, Violation,
+};
+pub use event::{Event, ProcTrace, ProtoState, TraceConfig, TraceSet, Ts, NO_OFFSET};
+pub use export::chrome_trace_json;
+pub use metrics::ProcMetrics;

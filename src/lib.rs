@@ -23,6 +23,9 @@
 //! - [`rt`] — the runtime: inspector API, active memory management (memory
 //!   allocation points), the five-state execution protocol, and both the
 //!   deterministic discrete-event executor and the real threaded executor.
+//! - [`trace`] — low-overhead per-processor event tracing, the protocol
+//!   conformance checker (Theorem-1 obligations replayed against a
+//!   recorded trace), per-processor metrics, and Chrome-trace export.
 //! - [`sparse`] — sparse-matrix substrate: generators, orderings, symbolic
 //!   factorization, block Cholesky / LU-with-partial-pivoting task graphs
 //!   and numeric kernels.
@@ -58,6 +61,7 @@ pub use rapid_machine as machine;
 pub use rapid_rt as rt;
 pub use rapid_sched as sched;
 pub use rapid_sparse as sparse;
+pub use rapid_trace as trace;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -71,4 +75,5 @@ pub mod prelude {
     pub use rapid_sched::dts::{dts_order, dts_order_merged};
     pub use rapid_sched::mpo::mpo_order;
     pub use rapid_sched::rcp::rcp_order;
+    pub use rapid_trace::{check, chrome_trace_json, TraceConfig, TraceSet};
 }
