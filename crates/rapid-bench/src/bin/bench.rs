@@ -15,7 +15,9 @@
 //!   (repeatable);
 //! - `--check` — shape-invariant CI mode: shrunken problem sizes, no
 //!   perf assertions and no files written; exits non-zero if any section
-//!   produces an empty, non-finite or duplicated measurement;
+//!   produces an empty, non-finite or duplicated measurement. Also runs
+//!   the static plan verifier (`rapid-verify`) over the benchmark
+//!   fixture plans at exactly MIN_MEM before measuring;
 //! - `--trace <out.json>` — run the Cholesky executor fixture with event
 //!   tracing and write the Chrome-trace/Perfetto JSON timeline to the
 //!   given path (open it at <https://ui.perfetto.dev>).
@@ -370,6 +372,41 @@ fn report_pair(out: &mut Vec<Entry>, kernel: &str, n: usize, tiled: f64, naive: 
     });
 }
 
+/// `--check` also statically verifies the benchmark fixture plans — the
+/// same analysis the `rapid-lint` CI job runs — so a schedule or planner
+/// regression fails fast with a typed finding instead of a hung or
+/// crashed measurement.
+fn verify_fixture_plans() {
+    let mut plans: Vec<(String, rapid_core::graph::TaskGraph, rapid_core::schedule::Schedule)> =
+        Vec::new();
+    plans.push(("figure2".into(), fixtures::figure2_dag(), fixtures::figure2_schedule_c()));
+    {
+        let spec = RandomGraphSpec { objects: 48, tasks: 160, ..Default::default() };
+        let g = random_irregular_graph(11, &spec);
+        let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
+        let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
+        let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
+        plans.push(("random-irregular-t160-p4".into(), g, sched));
+    }
+    {
+        let a = gen::bcsstk_like(6, 6, 3, 3);
+        let model = taskgen::cholesky_2d_model(&a, 9, 4);
+        let assign = rapid_sched::assign::owner_compute_assignment(&model.graph, &model.owner, 4);
+        let sched = rapid_sched::mpo::mpo_order(&model.graph, &assign, &CostModel::unit());
+        plans.push(("cholesky-bcsstk-p4".into(), model.graph, sched));
+    }
+    for (name, g, sched) in &plans {
+        let mm = min_mem(g, sched).min_mem;
+        let report = rapid_verify::verify_capacity(g, sched, mm);
+        assert!(
+            report.accepted(),
+            "check: {name} plan rejected at MIN_MEM={mm}: {:?}",
+            report.findings
+        );
+        println!("verify/{name}: accepted at MIN_MEM={mm}, static peaks {:?}", report.peak);
+    }
+}
+
 /// Structural validation for `--check` mode: every section must produce
 /// at least one measurement, every measurement must be finite and
 /// positive, and names must be unique within a section.
@@ -434,6 +471,10 @@ fn main() {
     }
     let wants = |s: &str| only.is_empty() || only.iter().any(|o| o == s);
 
+    if check {
+        println!("== verify ==");
+        verify_fixture_plans();
+    }
     let mut written = Vec::new();
     if wants("executor") {
         println!("== executor ==");

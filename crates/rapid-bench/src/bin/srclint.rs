@@ -1,0 +1,70 @@
+//! `srclint` — repo-local source lint: the runtime crates must not
+//! panic on recoverable conditions, so `.unwrap()` / `.expect(` are
+//! banned in the non-test code of `rapid-rt` and `rapid-machine` (the
+//! two crates that execute user plans and hold cross-thread locks; a
+//! panic there poisons mutexes and turns a recoverable fault into a
+//! deadlock). CI runs this binary and fails on any offender.
+//!
+//! Scope rules: scanning stops at the first `#[cfg(test)]` line of each
+//! file (repo convention keeps test modules last) and `//` comment lines
+//! are ignored.
+
+use std::path::{Path, PathBuf};
+
+/// Crate source roots to scan, relative to this crate's manifest.
+const ROOTS: &[&str] = &[
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-rt/src"),
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-machine/src"),
+];
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let mut offenders: Vec<String> = Vec::new();
+    let mut scanned = 0usize;
+    for root in ROOTS {
+        let mut files = Vec::new();
+        rust_files(Path::new(root), &mut files);
+        files.sort();
+        for path in files {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                eprintln!("srclint: cannot read {}", path.display());
+                std::process::exit(2);
+            };
+            scanned += 1;
+            for (i, line) in text.lines().enumerate() {
+                let t = line.trim_start();
+                if t.starts_with("#[cfg(test)]") {
+                    break; // test modules come last by repo convention
+                }
+                if t.starts_with("//") {
+                    continue;
+                }
+                if t.contains(".unwrap()") || t.contains(".expect(") {
+                    offenders.push(format!("{}:{}: {}", path.display(), i + 1, t));
+                }
+            }
+        }
+    }
+    if offenders.is_empty() {
+        println!("srclint: {scanned} files clean (no .unwrap()/.expect( in non-test runtime code)");
+    } else {
+        eprintln!("srclint: {} offender(s) in runtime crates:", offenders.len());
+        for o in &offenders {
+            eprintln!("  {o}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,12 @@ const FULL: u8 = 2;
 /// One instance exists per (source, destination) processor pair; only the
 /// source calls [`AddrSlot::try_send`] and only the destination calls
 /// [`AddrSlot::take`].
+///
+/// The inner mutex only serializes the package buffer hand-off; the
+/// EMPTY/WRITING/FULL state machine is what gates access, so a poisoned
+/// lock (a peer worker panicking while holding it is impossible — no user
+/// code runs under it, but a panicking allocator could) is recovered
+/// rather than propagated.
 #[derive(Debug, Default)]
 pub struct AddrSlot {
     state: AtomicU8,
@@ -56,7 +62,7 @@ impl AddrSlot {
     pub fn try_send(&self, pkg: AddrPackage) -> Result<(), AddrPackage> {
         match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
             Ok(_) => {
-                *self.pkg.lock().expect("addr slot poisoned") = pkg;
+                *self.pkg.lock().unwrap_or_else(|e| e.into_inner()) = pkg;
                 self.state.store(FULL, Ordering::Release);
                 Ok(())
             }
@@ -73,7 +79,7 @@ impl AddrSlot {
         match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
             Ok(_) => {
                 {
-                    let mut slot = self.pkg.lock().expect("addr slot poisoned");
+                    let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
                     slot.clear();
                     slot.extend_from_slice(pkg);
                 }
@@ -91,7 +97,7 @@ impl AddrSlot {
         if self.state.load(Ordering::Acquire) != FULL {
             return None;
         }
-        let pkg = std::mem::take(&mut *self.pkg.lock().expect("addr slot poisoned"));
+        let pkg = std::mem::take(&mut *self.pkg.lock().unwrap_or_else(|e| e.into_inner()));
         self.state.store(EMPTY, Ordering::Release);
         Some(pkg)
     }
@@ -106,7 +112,7 @@ impl AddrSlot {
             return false;
         }
         {
-            let mut slot = self.pkg.lock().expect("addr slot poisoned");
+            let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
             buf.extend_from_slice(&slot);
             slot.clear();
         }

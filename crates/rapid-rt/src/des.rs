@@ -313,8 +313,8 @@ impl<'a> DesExecutor<'a> {
                 // service point is a blocking state or a task boundary).
                 let now = procs[pi].now;
                 for (src, row) in slots.iter_mut().enumerate() {
-                    while matches!(row[pi].front(), Some((a, _)) if *a <= now) {
-                        let (_, entries) = row[pi].pop_front().expect("checked above");
+                    while row[pi].front().is_some_and(|&(a, _)| a <= now) {
+                        let Some((_, entries)) = row[pi].pop_front() else { break };
                         procs[pi].now += m.ra_cost;
                         if let Some(tr) = traces.as_mut() {
                             let sq = recv_seq[src][pi];
@@ -441,8 +441,7 @@ impl<'a> DesExecutor<'a> {
                                 .and_then(|f| f.mailbox_delay())
                                 .map_or(0.0, |d| d.as_secs_f64());
                             let arrive = procs[pi].now + m.transfer_time(nobjs) + fault_lag;
-                            let (_, objs) =
-                                procs[pi].pending_pkgs.pop_front().expect("front exists");
+                            let Some((_, objs)) = procs[pi].pending_pkgs.pop_front() else { break };
                             if let Some(tr) = traces.as_mut() {
                                 let ts = vts(procs[pi].now);
                                 if fault_lag > 0.0 {

@@ -9,7 +9,7 @@
 //! objects".
 
 use rapid_core::ddg::{AccessKind, DdgStats, TraceBuilder, WritePolicy};
-use rapid_core::graph::{ObjId, ProcId, TaskGraph, TaskId};
+use rapid_core::graph::{GraphError, ObjId, ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{CostModel, Schedule};
 use rapid_sched::assign::{cyclic_owner_map, owner_compute_assignment};
 
@@ -94,8 +94,13 @@ impl Inspector {
     }
 
     /// Extract the transformed task-dependence graph.
-    pub fn extract(self) -> (TaskGraph, DdgStats) {
-        self.tb.build(self.reduce).expect("sequential traces always build DAGs")
+    ///
+    /// A trace recorded through [`Inspector::task`] is a sequential
+    /// program, so the dependence graph is a DAG by construction and the
+    /// only way to see an error here is an id-space overflow in the
+    /// builder — surfaced as a typed error rather than a panic.
+    pub fn extract(self) -> Result<(TaskGraph, DdgStats), GraphError> {
+        self.tb.build(self.reduce)
     }
 }
 
@@ -278,7 +283,7 @@ mod tests {
         ins.task(1.0, &leaves[0..2], &[mids[0]], &[]);
         ins.task(1.0, &leaves[2..4], &[mids[1]], &[]);
         ins.task(1.0, &mids, &[root], &[]);
-        let (g, stats) = ins.extract();
+        let (g, stats) = ins.extract().unwrap();
         assert_eq!(g.num_tasks(), 7);
         assert_eq!(stats.true_edges, 6);
         assert!(g.is_dependence_complete());
@@ -346,7 +351,7 @@ mod tests {
         let t0 = ins.task(1.0, &[], &[acc], &[]);
         let t1 = ins.task(1.0, &[], &[], &[acc]);
         let t2 = ins.task(1.0, &[], &[], &[acc]);
-        let (g, _) = ins.extract();
+        let (g, _) = ins.extract().unwrap();
         assert!(g.has_edge(t0, t1));
         assert!(g.has_edge(t1, t2));
         assert_eq!(g.num_objects(), 1);

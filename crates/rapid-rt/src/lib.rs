@@ -25,6 +25,6 @@ pub mod threaded;
 
 pub use des::{DesConfig, DesExecutor, DesOutcome};
 pub use inspector::Inspector;
-pub use maps::{ExecError, RtPlan};
+pub use maps::{ExecError, MapPlacement, MapWindow, PlannedMap, RtPlan};
 pub use rapid_trace::{TraceConfig, TraceSet};
 pub use threaded::{run_sequential, TaskCtx, ThreadedExecutor, ThreadedOutcome};

@@ -151,7 +151,7 @@ impl RtPlan {
             let mut keys: Vec<(ProcId, Vec<u32>)> = by_key.keys().cloned().collect();
             keys.sort_unstable();
             for key in keys {
-                let mut dst_tasks = by_key.remove(&key).expect("key present");
+                let Some(mut dst_tasks) = by_key.remove(&key) else { continue };
                 let (dp, objs) = key;
                 dst_tasks.sort_unstable();
                 dst_tasks.dedup();
@@ -233,6 +233,49 @@ impl RtPlan {
         }
     }
 
+    /// Precompute the full MAP placement of this plan under `capacity`
+    /// with the given window policy.
+    ///
+    /// Runs the shared [`MapPlanner`] to completion for every processor —
+    /// exactly the sequence of windows both executors will perform at run
+    /// time, since MAP decisions depend only on the static order and the
+    /// counting allocation state. Fails with [`ExecError::NonExecutable`]
+    /// at the first window whose immediate task cannot be provisioned
+    /// (Definition 6).
+    pub fn place_maps(
+        &self,
+        g: &TaskGraph,
+        sched: &Schedule,
+        capacity: u64,
+        window: MapWindow,
+    ) -> Result<MapPlacement, ExecError> {
+        let mut per_proc = Vec::with_capacity(sched.order.len());
+        for p in 0..sched.order.len() {
+            let mut planner = MapPlanner::new(p as ProcId, capacity, self.perm_units[p]);
+            let mut rows: Vec<PlannedMap> = Vec::new();
+            let mut pos = 0u32;
+            loop {
+                let a = planner.run_map_with(g, sched, self, pos, window)?;
+                let next = a.next_map;
+                rows.push(PlannedMap {
+                    pos,
+                    frees: a.frees,
+                    allocs: a.allocs,
+                    alloc_pos: a.alloc_pos,
+                    next_map: a.next_map,
+                    notifies: a.notifies,
+                    in_use: planner.in_use(),
+                });
+                pos = next;
+                if pos as usize >= sched.order[p].len() {
+                    break;
+                }
+            }
+            per_proc.push(rows);
+        }
+        Ok(MapPlacement { capacity, window, per_proc })
+    }
+
     /// Estimated storage for the dependence structure itself, in
     /// allocation units (8-byte words): edges, access sets, message
     /// tables and liveness tables. The paper's §6 observes this overhead
@@ -286,6 +329,72 @@ pub struct MapAction {
     /// Address notifications for the newly allocated objects (offsets to
     /// be filled by the executor's allocator).
     pub notifies: Vec<Notify>,
+}
+
+/// One statically planned MAP window: the [`MapAction`] the executors
+/// will take at `pos`, plus the resulting arena occupancy. Part of the
+/// checkable [`MapPlacement`] artifact consumed by `rapid-verify`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedMap {
+    /// Order position the MAP precedes (frees happen here).
+    pub pos: u32,
+    /// Volatile objects freed by this MAP's free wave (dead before `pos`).
+    pub frees: Vec<ObjId>,
+    /// Volatile objects allocated by this window, in allocation order.
+    pub allocs: Vec<ObjId>,
+    /// `alloc_pos[i]`: the order position whose task first uses
+    /// `allocs[i]`.
+    pub alloc_pos: Vec<u32>,
+    /// Position (exclusive) up to which tasks are covered.
+    pub next_map: u32,
+    /// Address notifications the MAP emits (counting form: offsets are 0;
+    /// executors fill real arena offsets at run time).
+    pub notifies: Vec<Notify>,
+    /// Units in use after this window's allocations. Occupancy is
+    /// monotone within a window, so this is the window's high-water mark
+    /// — the quantity `rapid-verify` checks against the capacity and the
+    /// DES trace's `MapEnd` events report dynamically.
+    pub in_use: u64,
+}
+
+/// The complete static MAP placement of a plan: every window every
+/// processor will execute, precomputed. MAP decisions are purely local
+/// and deterministic (free wave + greedy window over the static order),
+/// so the placement is exact for both executors — it is the "plan
+/// artifact" `rapid-verify` analyses and the negative tests corrupt.
+///
+/// The threaded executor can *truncate* a window below this placement
+/// when real arena fragmentation blocks a lookahead allocation; such runs
+/// surface as [`ExecError::Fragmented`] retries and are excluded from the
+/// differential guarantee (as in the conformance suite).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MapPlacement {
+    /// Per-processor capacity the placement was computed for.
+    pub capacity: u64,
+    /// Window policy used.
+    pub window: MapWindow,
+    /// `per_proc[p]`: the MAP windows of processor `p`, in execution
+    /// order. A processor with an empty order still performs one (empty)
+    /// MAP before terminating, matching the managed executors.
+    pub per_proc: Vec<Vec<PlannedMap>>,
+}
+
+impl MapPlacement {
+    /// Total number of MAPs across all processors.
+    pub fn total_maps(&self) -> usize {
+        self.per_proc.iter().map(|w| w.len()).sum()
+    }
+
+    /// Per-processor arena high-water of the placement: the maximum
+    /// window occupancy, at least the permanent size (`perm[p]`) for
+    /// processors whose windows allocate nothing.
+    pub fn peaks(&self, perm_units: &[u64]) -> Vec<u64> {
+        self.per_proc
+            .iter()
+            .zip(perm_units)
+            .map(|(ws, &pu)| ws.iter().map(|w| w.in_use).fold(pu, u64::max))
+            .collect()
+    }
 }
 
 /// Which access-set lookup a task body attempted when it violated its
@@ -371,6 +480,16 @@ pub enum ExecError {
         /// payload was neither `&str` nor `String`).
         payload: String,
     },
+    /// A runtime invariant the protocol proof relies on was violated
+    /// (e.g. a planned free did not match a live arena block). Surfaced as
+    /// a typed error through the normal failure path so a buggy build
+    /// poisons the run instead of panicking a worker thread.
+    Internal {
+        /// Processor that detected the violation.
+        proc: ProcId,
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
     /// A task body accessed an object outside its declared access set —
     /// caught at the task boundary and surfaced through the normal
     /// failure path instead of aborting the process.
@@ -408,6 +527,9 @@ impl std::fmt::Display for ExecError {
                 Some(t) => write!(f, "task {t:?} on P{proc} panicked: {payload}"),
                 None => write!(f, "worker thread of P{proc} panicked: {payload}"),
             },
+            ExecError::Internal { proc, detail } => {
+                write!(f, "internal runtime invariant violated on P{proc}: {detail}")
+            }
             ExecError::AccessViolation { proc, task, obj, op } => {
                 write!(
                     f,
@@ -517,7 +639,10 @@ impl MapPlanner {
         // Free volatiles whose last use is strictly before `pos`.
         let mut frees = Vec::new();
         self.allocated.retain(|&d| {
-            let k = pl.volatile.binary_search(&d).expect("allocated object is volatile here");
+            // Only objects from this processor's volatile set ever enter
+            // `allocated`; keep anything else resident rather than guess a
+            // lifetime for it.
+            let Ok(k) = pl.volatile.binary_search(&d) else { return true };
             let (_, last) = pl.volatile_span[k];
             if last < pos {
                 frees.push(d);
@@ -732,6 +857,63 @@ mod tests {
             }
         }
         assert!(failed);
+    }
+
+    #[test]
+    fn placement_matches_core_window_peaks() {
+        // The placement artifact and rapid-core's window-peak analysis
+        // are independent implementations of the same greedy policy; they
+        // must agree window for window.
+        let g = fixtures::figure2_dag();
+        for sched in [fixtures::figure2_schedule_b(), fixtures::figure2_schedule_c()] {
+            let plan = RtPlan::new(&g, &sched);
+            let cap = rapid_core::memreq::min_mem(&g, &sched).min_mem;
+            let placement = plan.place_maps(&g, &sched, cap, MapWindow::Greedy).unwrap();
+            let wr = rapid_core::memreq::window_peaks(&g, &sched, cap).unwrap();
+            assert_eq!(placement.per_proc.len(), wr.windows.len());
+            for p in 0..placement.per_proc.len() {
+                let rows = &placement.per_proc[p];
+                assert_eq!(rows.len(), wr.windows[p].len(), "P{p} window counts");
+                for (pm, wp) in rows.iter().zip(&wr.windows[p]) {
+                    assert_eq!((pm.pos, pm.next_map, pm.in_use), (wp.pos, wp.next_map, wp.peak));
+                }
+                // Windows tile the order contiguously.
+                let mut pos = 0u32;
+                for pm in rows {
+                    assert_eq!(pm.pos, pos);
+                    pos = pm.next_map;
+                }
+                assert_eq!(pos as usize, sched.order[p].len());
+            }
+            assert_eq!(placement.peaks(&plan.perm_units), wr.peak);
+            // One unit below MIN_MEM the placement must fail.
+            assert!(matches!(
+                plan.place_maps(&g, &sched, cap - 1, MapWindow::Greedy),
+                Err(ExecError::NonExecutable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn placement_replays_planner_actions() {
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let plan = RtPlan::new(&g, &sched);
+        let placement = plan.place_maps(&g, &sched, 8, MapWindow::Greedy).unwrap();
+        // Replaying the planner step by step yields the same actions.
+        for p in 0..2u32 {
+            let mut mp = MapPlanner::new(p, 8, plan.perm_units[p as usize]);
+            for pm in &placement.per_proc[p as usize] {
+                let a = mp.run_map(&g, &sched, &plan, pm.pos).unwrap();
+                assert_eq!(a.frees, pm.frees);
+                assert_eq!(a.allocs, pm.allocs);
+                assert_eq!(a.next_map, pm.next_map);
+                assert_eq!(a.notifies, pm.notifies);
+                assert_eq!(mp.in_use(), pm.in_use);
+            }
+            assert_eq!(mp.maps() as usize, placement.per_proc[p as usize].len());
+        }
+        assert!(placement.total_maps() >= 3, "cap 8 must split P1's order");
     }
 
     #[test]

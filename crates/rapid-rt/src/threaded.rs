@@ -338,7 +338,9 @@ impl<'a> ThreadedExecutor<'a> {
         let shared = &shared;
 
         let fail = move |e: ExecError| {
-            let mut slot = error.lock().expect("error mutex poisoned");
+            // First error wins; a poisoned lock just means another worker
+            // panicked while reporting — recover and keep its error.
+            let mut slot = error.lock().unwrap_or_else(|p| p.into_inner());
             if slot.is_none() {
                 *slot = Some(e);
             }
@@ -373,7 +375,7 @@ impl<'a> ThreadedExecutor<'a> {
         if poison.load(AtOrd::Acquire) {
             return Err(error
                 .lock()
-                .expect("error mutex poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .take()
                 .unwrap_or(ExecError::Stalled { remaining: 0, snapshot: None }));
         }
@@ -391,20 +393,14 @@ impl<'a> ThreadedExecutor<'a> {
         let maps = per_proc.iter().map(|&(m, _, _, _)| m).collect();
         let peak_mem = per_proc.iter().map(|&(_, pk, _, _)| pk).collect();
         let arena_peak = per_proc.iter().map(|&(_, _, ap, _)| ap).collect();
-        let trace = if self.tracing.is_some() {
+        let trace = self.tracing.map(|tc| {
             let procs: Vec<ProcTrace> = per_proc
                 .into_iter()
                 .enumerate()
-                .map(|(p, (_, _, _, t))| {
-                    t.unwrap_or_else(|| {
-                        ProcTrace::new(p as u32, self.tracing.expect("tracing enabled"))
-                    })
-                })
+                .map(|(p, (_, _, _, t))| t.unwrap_or_else(|| ProcTrace::new(p as u32, tc)))
                 .collect();
-            Some(TraceSet::new(procs))
-        } else {
-            None
-        };
+            TraceSet::new(procs)
+        });
         let metrics = trace.as_ref().map(ProcMetrics::from_traces);
 
         Ok(ThreadedOutcome { maps, peak_mem, arena_peak, objects, wall, trace, metrics })
@@ -427,11 +423,14 @@ where
     F: Fn(TaskId, &mut TaskCtx<'_>),
     I: Fn(ObjId, &mut [f64]),
 {
-    let order = rapid_core::algo::topo_sort(g).expect("graph is a DAG");
     let mut bufs: Vec<Vec<f64>> = g.objects().map(|d| vec![0.0; g.obj_size(d) as usize]).collect();
     for (i, buf) in bufs.iter_mut().enumerate() {
         init(ObjId(i as u32), buf);
     }
+    // `TaskGraphBuilder::build` rejects cycles, so a constructed graph
+    // always topo-sorts; return the initialized (untouched) buffers
+    // rather than panicking if that invariant ever breaks.
+    let Some(order) = rapid_core::algo::topo_sort(g) else { return bufs };
     let mut slots = vec![NO_SLOT; g.num_objects()];
     for t in order {
         // Split-borrow the buffers: writes mutably, reads shared.
@@ -829,9 +828,21 @@ where
             };
             for d in &action.frees {
                 let off = net.local[d.idx()];
-                assert_ne!(off, NO_ADDR, "freed volatile was live");
+                if off == NO_ADDR {
+                    fail(ExecError::Internal {
+                        proc: p as u32,
+                        detail: format!("MAP free of {d:?} but no live buffer is recorded"),
+                    });
+                    bail!();
+                }
                 net.local[d.idx()] = NO_ADDR;
-                arena.free(off).expect("live volatile frees cleanly");
+                if let Err(e) = arena.free(off) {
+                    fail(ExecError::Internal {
+                        proc: p as u32,
+                        detail: format!("MAP free of {d:?} at offset {off} rejected: {e:?}"),
+                    });
+                    bail!();
+                }
                 if let Some(tr) = net.tr.as_mut() {
                     tr.rec(Event::Free { obj: d.0, units: g.obj_size(*d), offset: off });
                 }

@@ -203,6 +203,66 @@ pub enum Violation {
     },
 }
 
+/// The discriminant of a [`Violation`], independent of its payload.
+///
+/// `rapid-verify` findings each name the `ViolationKind` they mirror, so
+/// the static and dynamic layers are differentially checkable: a plan the
+/// static verifier rejects with a finding of kind `K` is exactly a plan
+/// whose (forced) execution would record a violation of kind `K` — or
+/// stall before it could (the deadlock finding, whose dynamic counterpart
+/// is `ExecError::Stalled`, maps to [`ViolationKind::MissingRecv`], the
+/// obligation a deadlocked receive can never discharge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// [`Violation::Incomplete`].
+    Incomplete,
+    /// [`Violation::WriteBeforeAddress`].
+    WriteBeforeAddress,
+    /// [`Violation::MailboxClobber`].
+    MailboxClobber,
+    /// [`Violation::DoubleAlloc`].
+    DoubleAlloc,
+    /// [`Violation::DoubleFree`].
+    DoubleFree,
+    /// [`Violation::FreeBeforeLastUse`].
+    FreeBeforeLastUse,
+    /// [`Violation::CapExceeded`].
+    CapExceeded,
+    /// [`Violation::OverlappingAlloc`].
+    OverlappingAlloc,
+    /// [`Violation::AccountingMismatch`].
+    AccountingMismatch,
+    /// [`Violation::OrderViolation`].
+    OrderViolation,
+    /// [`Violation::MissingRecv`].
+    MissingRecv,
+    /// [`Violation::PhantomMessage`].
+    PhantomMessage,
+    /// [`Violation::IllegalTransition`].
+    IllegalTransition,
+}
+
+impl Violation {
+    /// The payload-free discriminant of this violation.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::Incomplete { .. } => ViolationKind::Incomplete,
+            Violation::WriteBeforeAddress { .. } => ViolationKind::WriteBeforeAddress,
+            Violation::MailboxClobber { .. } => ViolationKind::MailboxClobber,
+            Violation::DoubleAlloc { .. } => ViolationKind::DoubleAlloc,
+            Violation::DoubleFree { .. } => ViolationKind::DoubleFree,
+            Violation::FreeBeforeLastUse { .. } => ViolationKind::FreeBeforeLastUse,
+            Violation::CapExceeded { .. } => ViolationKind::CapExceeded,
+            Violation::OverlappingAlloc { .. } => ViolationKind::OverlappingAlloc,
+            Violation::AccountingMismatch { .. } => ViolationKind::AccountingMismatch,
+            Violation::OrderViolation { .. } => ViolationKind::OrderViolation,
+            Violation::MissingRecv { .. } => ViolationKind::MissingRecv,
+            Violation::PhantomMessage { .. } => ViolationKind::PhantomMessage,
+            Violation::IllegalTransition { .. } => ViolationKind::IllegalTransition,
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -650,6 +710,20 @@ pub fn skeletons(traces: &TraceSet) -> Vec<Vec<CanonEvent>> {
 mod tests {
     use super::*;
     use crate::event::TraceConfig;
+
+    #[test]
+    fn violation_kind_strips_payload() {
+        assert_eq!(Violation::DoubleFree { proc: 1, obj: 2 }.kind(), ViolationKind::DoubleFree);
+        assert_eq!(
+            Violation::CapExceeded { proc: 0, in_use: 9, capacity: 8 }.kind(),
+            ViolationKind::CapExceeded
+        );
+        assert_eq!(
+            Violation::MailboxClobber { src: 0, dst: 1, seq: 3, detail: String::new() }.kind(),
+            Violation::MailboxClobber { src: 9, dst: 9, seq: 9, detail: "x".into() }.kind(),
+            "kinds compare payload-free"
+        );
+    }
 
     /// Two processors, one volatile flowing P0 -> P1: P1 MAP-allocates
     /// object 1, notifies P0, P0 writes it, P1's task reads it.

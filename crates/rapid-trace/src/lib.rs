@@ -31,6 +31,7 @@ pub mod metrics;
 
 pub use check::{
     check, skeleton, skeletons, CanonEvent, MsgSpec, ProtocolSpec, TraceReport, Violation,
+    ViolationKind,
 };
 pub use event::{Event, ProcTrace, ProtoState, TraceConfig, TraceSet, Ts, NO_OFFSET};
 pub use export::chrome_trace_json;

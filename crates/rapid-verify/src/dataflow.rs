@@ -1,0 +1,131 @@
+//! Per-processor dataflow sweeps: replay one processor's MAP windows
+//! against the task order and the static lifetimes
+//! ([`rapid_core::liveness`]), proving free-safety (no free before the
+//! Definition-4 dead point, no double free, no use-after-free), allocation
+//! sanity (no double alloc, every volatile use preceded by an allocating
+//! window) and exact occupancy accounting against the capacity.
+
+use crate::finding::Finding;
+use rapid_core::graph::TaskGraph;
+use rapid_core::liveness::ProcLiveness;
+use rapid_core::schedule::Schedule;
+use rapid_rt::PlannedMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// Sweep processor `p`'s windows and tasks in program order, appending
+/// one [`Finding`] per defect. The replay is independent of the planner:
+/// it trusts only the graph, the schedule and the liveness tables.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_proc(
+    g: &TaskGraph,
+    sched: &Schedule,
+    pl: &ProcLiveness,
+    p: usize,
+    windows: &[PlannedMap],
+    capacity: u64,
+    perm_units: u64,
+    findings: &mut Vec<Finding>,
+) {
+    let order = &sched.order[p];
+    let proc = p as u32;
+    // Volatile objects currently resident (allocated, not yet freed).
+    let mut live: BTreeSet<u32> = BTreeSet::new();
+    // Freed volatiles -> position of the freeing MAP.
+    let mut freed: HashMap<u32, u32> = HashMap::new();
+    let mut in_use = perm_units;
+    let mut cursor = 0usize;
+
+    let last_use = |obj: u32| -> Option<u32> {
+        pl.volatile
+            .binary_search(&rapid_core::graph::ObjId(obj))
+            .ok()
+            .map(|k| pl.volatile_span[k].1)
+    };
+
+    for w in windows {
+        let wpos = (w.pos as usize).min(order.len());
+        if wpos > cursor {
+            check_uses(g, sched, p, cursor..wpos, &live, &freed, findings);
+            cursor = wpos;
+        }
+        for &d in &w.frees {
+            if live.remove(&d.0) {
+                in_use -= g.obj_size(d);
+                freed.insert(d.0, w.pos);
+                if let Some(l) = last_use(d.0) {
+                    if l >= w.pos {
+                        findings.push(Finding::FreeBeforeLastUse {
+                            proc,
+                            obj: d.0,
+                            map_pos: w.pos,
+                            last_use: l,
+                        });
+                    }
+                }
+            } else {
+                findings.push(Finding::DoubleFree { proc, obj: d.0, map_pos: w.pos });
+            }
+        }
+        for &d in &w.allocs {
+            let is_volatile = pl.volatile.binary_search(&d).is_ok();
+            // A volatile object has a single (first, last) span, so any
+            // re-allocation — even after a free — is a defect.
+            if !is_volatile || live.contains(&d.0) || freed.contains_key(&d.0) {
+                findings.push(Finding::DoubleAlloc { proc, obj: d.0, map_pos: w.pos });
+            } else {
+                live.insert(d.0);
+                in_use += g.obj_size(d);
+            }
+        }
+        if in_use != w.in_use {
+            findings.push(Finding::AccountingMismatch {
+                proc,
+                map_pos: w.pos,
+                reported: w.in_use,
+                replayed: in_use,
+            });
+        }
+        if in_use > capacity {
+            findings.push(Finding::WindowOverCap { proc, map_pos: w.pos, in_use, capacity });
+        }
+    }
+    check_uses(g, sched, p, cursor..order.len(), &live, &freed, findings);
+}
+
+/// Check every volatile access of tasks in `range` against the current
+/// allocation state.
+fn check_uses(
+    g: &TaskGraph,
+    sched: &Schedule,
+    p: usize,
+    range: std::ops::Range<usize>,
+    live: &BTreeSet<u32>,
+    freed: &HashMap<u32, u32>,
+    findings: &mut Vec<Finding>,
+) {
+    for j in range {
+        let t = sched.order[p][j];
+        for d in g.accesses(t) {
+            if sched.assign.owner_of(d) == p as u32 {
+                continue; // permanent on this processor
+            }
+            if live.contains(&d.0) {
+                continue;
+            }
+            if let Some(&at) = freed.get(&d.0) {
+                findings.push(Finding::UseAfterFree {
+                    proc: p as u32,
+                    obj: d.0,
+                    position: j as u32,
+                    freed_at: at,
+                });
+            } else {
+                findings.push(Finding::UseBeforeAlloc {
+                    proc: p as u32,
+                    obj: d.0,
+                    position: j as u32,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Static happens-before / wait-for analysis (the Theorem-1
+//! deadlock-freedom obligation).
+//!
+//! Nodes model the points where the Figure 3(b) state machine can block:
+//!
+//! - **Task** — REC: a task waits for all its incoming messages.
+//! - **Window** — MAP: a window's address packages are emitted as part of
+//!   the window; program order places it before the tasks it covers.
+//! - **Send** — completion of a (possibly suspended) message delivery: it
+//!   needs the source task to have executed (EXE precedes SND) and, for
+//!   every volatile object it carries, the destination window that
+//!   notifies the sender of the object's address (Fact I: no remote write
+//!   before the address package).
+//!
+//! Program order chains each processor's windows and tasks; message edges
+//! connect the chains. The plan is deadlock-free iff this graph is
+//! acyclic — single-slot mailbox blocking adds no extra edges because a
+//! processor services its address queue in *every* blocking state, so a
+//! package can only go undrained if its receiver terminates early, which
+//! the stale-package check rules out separately (DESIGN.md §11).
+
+use crate::finding::{WaitPoint, WaitStep};
+use rapid_core::schedule::Schedule;
+use rapid_rt::{MapPlacement, RtPlan};
+use std::collections::HashMap;
+
+/// Find a wait-for cycle, if any. `addr_win` maps
+/// `(allocating proc, notified proc, obj)` to the index of the window
+/// (on the allocating proc) that emits the notification; messages whose
+/// address entry is absent contribute no window edge — the missing
+/// coverage is reported separately as a `MissingAddress` finding.
+pub(crate) fn deadlock_cycle(
+    sched: &Schedule,
+    plan: &RtPlan,
+    placement: &MapPlacement,
+    addr_win: &HashMap<(u32, u32, u32), usize>,
+) -> Option<Vec<WaitPoint>> {
+    let nprocs = sched.order.len();
+
+    // Assign node ids: per-proc windows and tasks, then one per message.
+    let mut win_id: Vec<Vec<usize>> = Vec::with_capacity(nprocs);
+    let mut task_id: Vec<Vec<usize>> = Vec::with_capacity(nprocs);
+    let mut kind: Vec<WaitPoint> = Vec::new();
+    for p in 0..nprocs {
+        let mut wids = Vec::with_capacity(placement.per_proc[p].len());
+        for w in &placement.per_proc[p] {
+            wids.push(kind.len());
+            kind.push(WaitPoint { proc: p as u32, step: WaitStep::Window { pos: w.pos } });
+        }
+        win_id.push(wids);
+        let mut tids = Vec::with_capacity(sched.order[p].len());
+        for (j, &t) in sched.order[p].iter().enumerate() {
+            tids.push(kind.len());
+            kind.push(WaitPoint {
+                proc: p as u32,
+                step: WaitStep::Task { task: t.0, pos: j as u32 },
+            });
+        }
+        task_id.push(tids);
+    }
+    let send_base = kind.len();
+    for m in &plan.msgs {
+        kind.push(WaitPoint { proc: m.src_proc, step: WaitStep::Send { msg: m.id } });
+    }
+    let total = kind.len();
+
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut edge = |a: usize, b: usize| {
+        succs[a].push(b);
+        preds[b].push(a);
+    };
+
+    // Program order: interleave windows (a window at position k precedes
+    // the task at position k) and tasks. Corrupted placements may list
+    // windows out of order; sort the interleaving keys so the chain stays
+    // a chain — the dataflow sweep reports the structural damage.
+    for p in 0..nprocs {
+        let mut seq: Vec<(u32, u8, usize)> = Vec::new();
+        for (k, w) in placement.per_proc[p].iter().enumerate() {
+            seq.push((w.pos, 0, win_id[p][k]));
+        }
+        for (j, &id) in task_id[p].iter().enumerate() {
+            seq.push((j as u32, 1, id));
+        }
+        seq.sort();
+        for pair in seq.windows(2) {
+            edge(pair[0].2, pair[1].2);
+        }
+    }
+
+    // Message edges.
+    for m in &plan.msgs {
+        let s = send_base + m.id as usize;
+        // EXE of the source task precedes delivery.
+        let src_pos = plan.pos[m.src_task.idx()] as usize;
+        edge(task_id[m.src_proc as usize][src_pos], s);
+        // Fact I: each carried volatile needs its address package first.
+        for &d in &m.objs {
+            if sched.assign.owner_of(d) == m.dst_proc {
+                continue;
+            }
+            if let Some(&widx) = addr_win.get(&(m.dst_proc, m.src_proc, d.0)) {
+                edge(win_id[m.dst_proc as usize][widx], s);
+            }
+        }
+        // REC: destination tasks wait for the delivery.
+        for &dt in &m.dst_tasks {
+            let dpos = plan.pos[dt.idx()] as usize;
+            edge(s, task_id[m.dst_proc as usize][dpos]);
+        }
+    }
+    // DAG edges need no separate modelling: same-processor edges are
+    // subsumed by program order (checked by the precedence analysis) and
+    // cross-processor edges by the message edges above.
+
+    // Kahn's algorithm; any residue contains a cycle.
+    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut queue: Vec<usize> = (0..total).filter(|&v| indeg[v] == 0).collect();
+    let mut done = 0usize;
+    while let Some(v) = queue.pop() {
+        done += 1;
+        for &w in &succs[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if done == total {
+        return None;
+    }
+
+    // Extract one cycle from the residue: every residual node has a
+    // residual predecessor, so walking predecessors must revisit a node.
+    let start = (0..total).find(|&v| indeg[v] > 0)?;
+    let mut path: Vec<usize> = vec![start];
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    seen.insert(start, 0);
+    let mut cur = start;
+    loop {
+        let &next = preds[cur].iter().find(|&&u| indeg[u] > 0)?;
+        if let Some(&at) = seen.get(&next) {
+            // path[at..] walked predecessors; reverse for wait order
+            // ("A waits on B waits on ... waits on A").
+            let mut cycle: Vec<WaitPoint> = path[at..].iter().map(|&v| kind[v].clone()).collect();
+            cycle.reverse();
+            return Some(cycle);
+        }
+        seen.insert(next, path.len());
+        path.push(next);
+        cur = next;
+    }
+}

@@ -49,7 +49,7 @@ fn main() {
             }
         }
     }
-    let (g, stats) = ins.extract();
+    let (g, stats) = ins.extract().expect("sequential trace builds a DAG");
     println!(
         "triangular-solve DAG: {} tasks, {} edges (true edges {})",
         g.num_tasks(),

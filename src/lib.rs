@@ -29,6 +29,11 @@
 //! - [`sparse`] — sparse-matrix substrate: generators, orderings, symbolic
 //!   factorization, block Cholesky / LU-with-partial-pivoting task graphs
 //!   and numeric kernels.
+//! - [`verify`] — the static plan verifier: proves the Theorem-1
+//!   obligations (reaching addresses, mailbox discipline,
+//!   deadlock-freedom, free-safety, capacity feasibility) of a complete
+//!   plan before execution, with typed findings mirroring the dynamic
+//!   trace checker's violations. Ships the `rapid-lint` CLI.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +67,7 @@ pub use rapid_rt as rt;
 pub use rapid_sched as sched;
 pub use rapid_sparse as sparse;
 pub use rapid_trace as trace;
+pub use rapid_verify as verify;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -76,4 +82,5 @@ pub mod prelude {
     pub use rapid_sched::mpo::mpo_order;
     pub use rapid_sched::rcp::rcp_order;
     pub use rapid_trace::{check, chrome_trace_json, TraceConfig, TraceSet};
+    pub use rapid_verify::{verify_capacity, Finding, VerifyReport};
 }
