@@ -57,14 +57,32 @@ impl Backoff {
     /// park in the third.
     #[inline]
     pub fn wait(&mut self) {
+        self.wait_flushing(|| {});
+    }
+
+    /// Aggregation-aware wait: identical tier escalation, but `flush` is
+    /// invoked once at the spin→yield boundary — the moment this worker
+    /// is about to surrender the core, any address packages parked in
+    /// its sender-side aggregation buffers must be pushed toward their
+    /// destinations first, or a peer could wait a full park cycle (or
+    /// forever, if this worker blocks for good) on an address that is
+    /// sitting ready in a buffer. Callers still observing progress
+    /// through their service loop should `reset` as usual.
+    #[inline]
+    pub fn wait_flushing<F: FnOnce()>(&mut self, flush: F) {
         if self.step < SPIN_LIMIT {
             for _ in 0..(1u32 << self.step) {
                 core::hint::spin_loop();
             }
-        } else if self.step < SPIN_LIMIT + YIELD_LIMIT {
-            std::thread::yield_now();
         } else {
-            std::thread::park_timeout(PARK);
+            if self.step == SPIN_LIMIT {
+                flush();
+            }
+            if self.step < SPIN_LIMIT + YIELD_LIMIT {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(PARK);
+            }
         }
         if !self.is_parking() {
             self.step += 1;
@@ -131,6 +149,19 @@ mod tests {
         assert!(b.is_parking());
         b.reset();
         assert!(!b.is_parking());
+    }
+
+    #[test]
+    fn flush_hook_fires_exactly_once_at_first_yield() {
+        let mut b = Backoff::new();
+        let mut fired = 0;
+        for _ in 0..(SPIN_LIMIT + YIELD_LIMIT + 3) {
+            b.wait_flushing(|| fired += 1);
+        }
+        assert_eq!(fired, 1, "flush fires at the spin→yield boundary only");
+        b.reset();
+        b.wait_flushing(|| fired += 1);
+        assert_eq!(fired, 1, "spin-tier waits do not flush");
     }
 
     #[test]

@@ -15,16 +15,25 @@
 //!   address package, with release/acquire arrival flags,
 //! - [`backoff`] — the tiered spin/yield/park strategy the executor's
 //!   blocking waits use instead of unconditional `yield_now` polling,
+//!   aggregation-aware (buffered packages flush before the first yield),
+//! - [`machine`] — the pluggable comm-backend surface: the [`Machine`]
+//!   trait with the paper-faithful single-slot backend, the native
+//!   per-destination aggregating backend, and the discrete-event
+//!   simulator's virtual-time backend,
+//! - [`affinity`] — core pinning (raw `sched_setaffinity`) and
+//!   NUMA-aware worker→core assignment for the native backend,
 //! - [`fault`] — deterministic, seeded fault injection (mailbox rejection
 //!   and delay, RMA put delay, transient allocation failure, worker
 //!   jitter) for chaos-testing the executors' recovery paths.
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod arena;
 pub mod backoff;
 pub mod config;
 pub mod fault;
+pub mod machine;
 pub mod mailbox;
 pub mod rma;
 
@@ -32,3 +41,4 @@ pub use arena::{Arena, ArenaError};
 pub use backoff::{Backoff, Retry};
 pub use config::MachineConfig;
 pub use fault::{FaultPlan, FaultSpec, ProcFaults};
+pub use machine::{AggregatingMachine, DirectMachine, Machine, Port, SendOutcome, VirtualMachine};

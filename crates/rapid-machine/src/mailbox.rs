@@ -12,6 +12,14 @@
 //! is full, `take` empties it. The full/empty handoff uses release/acquire
 //! ordering so the package contents published by the sender are visible to
 //! the receiver.
+//!
+//! The slot payload additionally preserves *logical package boundaries*:
+//! an aggregating sender may coalesce several address packages into one
+//! physical hand-off ([`AddrSlot::try_send_batch_from`]), and the receiver
+//! recovers each original package from the segment-end list
+//! ([`AddrSlot::take_batch_into`], [`MailboxBoard::drain_batched_for_into`]).
+//! A plain send is simply a batch of one segment, so the paper's
+//! unbuffered semantics are the degenerate case of the same machinery.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -48,13 +56,22 @@ const FULL: u8 = 2;
 #[derive(Debug, Default)]
 pub struct AddrSlot {
     state: AtomicU8,
-    pkg: Mutex<AddrPackage>,
+    pkg: Mutex<BatchBuf>,
+}
+
+/// Slot payload: coalesced entries plus the logical package boundaries.
+/// `seg_ends[i]` is the exclusive end index (into `entries`) of logical
+/// package `i`; a plain unbatched send is one segment covering everything.
+#[derive(Debug, Default)]
+struct BatchBuf {
+    entries: Vec<AddrEntry>,
+    seg_ends: Vec<u32>,
 }
 
 impl AddrSlot {
     /// New empty slot.
     pub fn new() -> Self {
-        AddrSlot { state: AtomicU8::new(EMPTY), pkg: Mutex::new(Vec::new()) }
+        AddrSlot { state: AtomicU8::new(EMPTY), pkg: Mutex::new(BatchBuf::default()) }
     }
 
     /// Attempt to deposit `pkg`. Fails (returning the package back) while
@@ -62,7 +79,13 @@ impl AddrSlot {
     pub fn try_send(&self, pkg: AddrPackage) -> Result<(), AddrPackage> {
         match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
             Ok(_) => {
-                *self.pkg.lock().unwrap_or_else(|e| e.into_inner()) = pkg;
+                {
+                    let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
+                    let end = pkg.len() as u32;
+                    slot.entries = pkg;
+                    slot.seg_ends.clear();
+                    slot.seg_ends.push(end);
+                }
                 self.state.store(FULL, Ordering::Release);
                 Ok(())
             }
@@ -80,8 +103,10 @@ impl AddrSlot {
             Ok(_) => {
                 {
                     let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
-                    slot.clear();
-                    slot.extend_from_slice(pkg);
+                    slot.entries.clear();
+                    slot.entries.extend_from_slice(pkg);
+                    slot.seg_ends.clear();
+                    slot.seg_ends.push(pkg.len() as u32);
                 }
                 self.state.store(FULL, Ordering::Release);
                 pkg.clear();
@@ -91,13 +116,49 @@ impl AddrSlot {
         }
     }
 
-    /// Consume the package, emptying the slot (the RA operation's per-slot
-    /// step). Returns `None` when the slot is empty.
+    /// Deposit a whole aggregation batch — `entries` carrying several
+    /// logical packages delimited by `seg_ends` — in one physical
+    /// hand-off, clearing both caller buffers on success (their capacity
+    /// is retained for the next batch). Returns `false`, leaving the
+    /// buffers untouched, while the previous hand-off has not been
+    /// consumed.
+    pub fn try_send_batch_from(
+        &self,
+        entries: &mut Vec<AddrEntry>,
+        seg_ends: &mut Vec<u32>,
+    ) -> bool {
+        debug_assert_eq!(seg_ends.last().copied().unwrap_or(0) as usize, entries.len());
+        match self.state.compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => {
+                {
+                    let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.entries.clear();
+                    slot.entries.extend_from_slice(entries);
+                    slot.seg_ends.clear();
+                    slot.seg_ends.extend_from_slice(seg_ends);
+                }
+                self.state.store(FULL, Ordering::Release);
+                entries.clear();
+                seg_ends.clear();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Consume the waiting hand-off, emptying the slot (the RA
+    /// operation's per-slot step). Returns `None` when the slot is empty.
+    /// Logical packages of a batch arrive concatenated; use
+    /// [`AddrSlot::take_batch_into`] to recover their boundaries.
     pub fn take(&self) -> Option<AddrPackage> {
         if self.state.load(Ordering::Acquire) != FULL {
             return None;
         }
-        let pkg = std::mem::take(&mut *self.pkg.lock().unwrap_or_else(|e| e.into_inner()));
+        let pkg = {
+            let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
+            slot.seg_ends.clear();
+            std::mem::take(&mut slot.entries)
+        };
         self.state.store(EMPTY, Ordering::Release);
         Some(pkg)
     }
@@ -105,7 +166,9 @@ impl AddrSlot {
     /// Allocation-free variant of [`AddrSlot::take`]: appends the waiting
     /// entries to `buf` (the receiver's reusable scratch) and leaves the
     /// slot's buffer — with its capacity — in place for the sender's next
-    /// package. Returns `false` when the slot is empty.
+    /// package. Returns `false` when the slot is empty. Batch boundaries
+    /// are discarded (entries of all logical packages are appended in
+    /// send order).
     #[inline]
     pub fn take_into(&self, buf: &mut Vec<AddrEntry>) -> bool {
         if self.state.load(Ordering::Acquire) != FULL {
@@ -113,8 +176,29 @@ impl AddrSlot {
         }
         {
             let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
-            buf.extend_from_slice(&slot);
-            slot.clear();
+            buf.extend_from_slice(&slot.entries);
+            slot.entries.clear();
+            slot.seg_ends.clear();
+        }
+        self.state.store(EMPTY, Ordering::Release);
+        true
+    }
+
+    /// Allocation-free batched take: appends the waiting entries to
+    /// `buf` and the logical package boundaries (exclusive end indices
+    /// relative to the start of this run) to `segs`. Returns `false`
+    /// when the slot is empty.
+    #[inline]
+    pub fn take_batch_into(&self, buf: &mut Vec<AddrEntry>, segs: &mut Vec<u32>) -> bool {
+        if self.state.load(Ordering::Acquire) != FULL {
+            return false;
+        }
+        {
+            let mut slot = self.pkg.lock().unwrap_or_else(|e| e.into_inner());
+            buf.extend_from_slice(&slot.entries);
+            segs.extend_from_slice(&slot.seg_ends);
+            slot.entries.clear();
+            slot.seg_ends.clear();
         }
         self.state.store(EMPTY, Ordering::Release);
         true
@@ -141,6 +225,12 @@ impl MailboxBoard {
         MailboxBoard { nprocs, slots: (0..nprocs * nprocs).map(|_| AddrSlot::new()).collect() }
     }
 
+    /// Number of processors the board connects.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
     /// The slot carrying packages from `src` to `dst`.
     #[inline]
     pub fn slot(&self, src: usize, dst: usize) -> &AddrSlot {
@@ -165,12 +255,46 @@ impl MailboxBoard {
 
     /// Allocation-free RA: drain every package waiting for `dst` through
     /// the reusable `scratch` buffer, invoking `f(src, entries)` with a
-    /// borrowed view of each package. Returns the number of packages
-    /// consumed.
+    /// borrowed view of each *logical* package (a batched hand-off
+    /// invokes `f` once per segment, in send order). Returns the number
+    /// of logical packages consumed.
     pub fn drain_for_into<F: FnMut(usize, &[AddrEntry])>(
         &self,
         dst: usize,
         scratch: &mut Vec<AddrEntry>,
+        mut f: F,
+    ) -> usize {
+        let mut segs: Vec<u32> = Vec::new();
+        let mut n = 0;
+        for src in 0..self.nprocs {
+            if src == dst {
+                continue;
+            }
+            scratch.clear();
+            segs.clear();
+            if self.slot(src, dst).take_batch_into(scratch, &mut segs) {
+                let mut start = 0usize;
+                for &end in &segs {
+                    f(src, &scratch[start..end as usize]);
+                    start = end as usize;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Batched RA (the aggregation-aware service path): drain every
+    /// source's waiting hand-off in one callback per source —
+    /// `f(src, entries, seg_ends)` receives the full per-source run with
+    /// the logical package boundaries — instead of one callback per
+    /// package. Both scratch buffers are caller-owned and reused across
+    /// calls. Returns the number of logical packages consumed.
+    pub fn drain_batched_for_into<F: FnMut(usize, &[AddrEntry], &[u32])>(
+        &self,
+        dst: usize,
+        scratch: &mut Vec<AddrEntry>,
+        segs: &mut Vec<u32>,
         mut f: F,
     ) -> usize {
         let mut n = 0;
@@ -179,9 +303,10 @@ impl MailboxBoard {
                 continue;
             }
             scratch.clear();
-            if self.slot(src, dst).take_into(scratch) {
-                f(src, scratch);
-                n += 1;
+            segs.clear();
+            if self.slot(src, dst).take_batch_into(scratch, segs) {
+                n += segs.len();
+                f(src, scratch, segs);
             }
         }
         n
@@ -252,6 +377,68 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, 1), (1, 2)]);
         assert_eq!(b.drain_for_into(2, &mut scratch, |_, _| panic!("must be empty")), 0);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_logical_boundaries() {
+        let s = AddrSlot::new();
+        let mut entries = vec![
+            AddrEntry { obj: 1, offset: 8 },
+            AddrEntry { obj: 2, offset: 16 },
+            AddrEntry { obj: 3, offset: 24 },
+        ];
+        let mut segs = vec![2u32, 3]; // packages [1,2] and [3]
+        assert!(s.try_send_batch_from(&mut entries, &mut segs));
+        assert!(entries.is_empty() && segs.is_empty(), "send clears caller buffers");
+        let mut blocked = vec![AddrEntry { obj: 9, offset: 0 }];
+        let mut bsegs = vec![1u32];
+        assert!(!s.try_send_batch_from(&mut blocked, &mut bsegs));
+        assert_eq!((blocked.len(), bsegs.len()), (1, 1), "failed send is side-effect free");
+        let (mut buf, mut got_segs) = (Vec::new(), Vec::new());
+        assert!(s.take_batch_into(&mut buf, &mut got_segs));
+        assert_eq!(got_segs, vec![2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn drain_for_into_splits_batches_into_logical_packages() {
+        let b = MailboxBoard::new(2);
+        let mut entries = vec![
+            AddrEntry { obj: 1, offset: 8 },
+            AddrEntry { obj: 2, offset: 16 },
+            AddrEntry { obj: 3, offset: 24 },
+        ];
+        let mut segs = vec![1u32, 3];
+        assert!(b.slot(0, 1).try_send_batch_from(&mut entries, &mut segs));
+        let mut scratch = Vec::new();
+        let mut pkgs = Vec::new();
+        let n = b.drain_for_into(1, &mut scratch, |src, pkg| {
+            pkgs.push((src, pkg.to_vec()));
+        });
+        assert_eq!(n, 2, "one batch of two segments is two logical packages");
+        assert_eq!(pkgs[0], (0, vec![AddrEntry { obj: 1, offset: 8 }]));
+        assert_eq!(
+            pkgs[1],
+            (0, vec![AddrEntry { obj: 2, offset: 16 }, AddrEntry { obj: 3, offset: 24 }])
+        );
+    }
+
+    #[test]
+    fn drain_batched_hands_full_run_per_source() {
+        let b = MailboxBoard::new(3);
+        let mut e0 = vec![AddrEntry { obj: 1, offset: 8 }, AddrEntry { obj: 2, offset: 16 }];
+        let mut s0 = vec![1u32, 2];
+        assert!(b.slot(0, 2).try_send_batch_from(&mut e0, &mut s0));
+        b.slot(1, 2).try_send(vec![AddrEntry { obj: 7, offset: 0 }]).unwrap();
+        let (mut scratch, mut segs) = (Vec::new(), Vec::new());
+        let mut calls = Vec::new();
+        let n = b.drain_batched_for_into(2, &mut scratch, &mut segs, |src, run, ends| {
+            calls.push((src, run.len(), ends.to_vec()));
+        });
+        assert_eq!(n, 3, "three logical packages in total");
+        calls.sort_unstable();
+        assert_eq!(calls, vec![(0, 2, vec![1, 2]), (1, 1, vec![1])]);
     }
 
     #[test]

@@ -19,6 +19,8 @@ use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::Schedule;
 use rapid_machine::config::MachineConfig;
 use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
+use rapid_machine::machine::{Machine, Port, SendOutcome, VirtualMachine};
+use rapid_machine::mailbox::{AddrEntry, AddrPackage};
 use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet, NO_OFFSET};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -271,14 +273,14 @@ impl<'a> DesExecutor<'a> {
 
         // Global message state: arrival time once sent.
         let mut msg_arrival: Vec<Option<f64>> = vec![None; self.plan.msgs.len()];
-        // Address mailboxes: slot[src][dst] holds queued (arrive, entries)
-        // packages. The paper's scheme keeps at most one per pair; with
-        // `addr_buffering` the queue is unbounded and we track its peak.
-        // Queued (arrival-time, carried-object-ids) packages per pair.
-        type AddrQueue = VecDeque<(f64, Vec<u32>)>;
-        let mut slots: Vec<Vec<AddrQueue>> =
-            vec![(0..nprocs).map(|_| VecDeque::new()).collect(); nprocs];
-        let mut peak_queued = 0usize;
+        // Address mailboxes: the DES drives the same [`Machine`]/[`Port`]
+        // surface the threaded executor runs on, through its virtual-time
+        // backend. The paper's scheme keeps at most one package in flight
+        // per pair ([`VirtualPort::outbound_queued`] is the blocking
+        // probe); with `addr_buffering` the queue is unbounded and the
+        // machine tracks its peak depth.
+        let vm = VirtualMachine::new(nprocs, self.cfg.addr_buffering);
+        let mut ports: Vec<_> = (0..nprocs).map(|p| vm.port(p)).collect();
 
         let mut events: BinaryHeap<Reverse<(OrdF64, u64, u32)>> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -311,26 +313,41 @@ impl<'a> DesExecutor<'a> {
             'step: loop {
                 // Service RA: consume arrived packages (any state at a
                 // service point is a blocking state or a task boundary).
-                let now = procs[pi].now;
-                for (src, row) in slots.iter_mut().enumerate() {
-                    while row[pi].front().is_some_and(|&(a, _)| a <= now) {
-                        let Some((_, entries)) = row[pi].pop_front() else { break };
-                        procs[pi].now += m.ra_cost;
-                        if let Some(tr) = traces.as_mut() {
-                            let sq = recv_seq[src][pi];
-                            recv_seq[src][pi] += 1;
-                            tr[pi].rec(
-                                vts(procs[pi].now),
-                                Event::PkgRecv { src: src as u32, seq: sq, objs: entries.clone() },
-                            );
+                // The port gates on the captured virtual clock and hands
+                // back one run per source with logical package
+                // boundaries; each logical package charges `ra_cost`.
+                ports[pi].set_now(procs[pi].now);
+                {
+                    let ProcState { now, known, .. } = &mut procs[pi];
+                    ports[pi].drain_batched(|src, run, segs| {
+                        let mut start = 0usize;
+                        for &end in segs {
+                            *now += m.ra_cost;
+                            if let Some(tr) = traces.as_mut() {
+                                let sq = recv_seq[src][pi];
+                                recv_seq[src][pi] += 1;
+                                tr[pi].rec(
+                                    vts(*now),
+                                    Event::PkgRecv {
+                                        src: src as u32,
+                                        seq: sq,
+                                        objs: run[start..end as usize]
+                                            .iter()
+                                            .map(|e| e.obj)
+                                            .collect(),
+                                    },
+                                );
+                            }
+                            for e in &run[start..end as usize] {
+                                known.insert((src as ProcId, e.obj));
+                            }
+                            // The pair's queue drained: wake the source in
+                            // case it is blocked in MAP trying to send us
+                            // a new package.
+                            push(&mut events, &mut seq, *now, src as u32);
+                            start = end as usize;
                         }
-                        for obj in entries {
-                            procs[pi].known.insert((src as ProcId, obj));
-                        }
-                        // The slot is free: wake the source in case it is
-                        // blocked in MAP trying to send us a new package.
-                        push(&mut events, &mut seq, procs[pi].now, src as u32);
-                    }
+                    });
                 }
                 // Service CQ: retry suspended sends.
                 let mut still: VecDeque<u32> = VecDeque::new();
@@ -419,7 +436,7 @@ impl<'a> DesExecutor<'a> {
                         // unless buffering is enabled (ablation).
                         while let Some((dst, objs)) = procs[pi].pending_pkgs.front() {
                             let (dst, nobjs) = (*dst as usize, objs.len() as u64);
-                            if !self.cfg.addr_buffering && !slots[pi][dst].is_empty() {
+                            if !self.cfg.addr_buffering && ports[pi].outbound_queued(dst) {
                                 // Blocked in MAP (paper §3.3); RA of the
                                 // destination will wake us.
                                 if !procs[pi].busy_reported {
@@ -454,8 +471,20 @@ impl<'a> DesExecutor<'a> {
                                     Event::PkgSend { dst: dst as u32, seq: sq, objs: objs.clone() },
                                 );
                             }
-                            slots[pi][dst].push_back((arrive, objs));
-                            peak_queued = peak_queued.max(slots[pi][dst].len());
+                            ports[pi].set_stamp(arrive);
+                            let mut pkg: AddrPackage = objs
+                                .iter()
+                                .map(|&o| AddrEntry { obj: o, offset: NO_OFFSET })
+                                .collect();
+                            // The emptiness probe above (or unbounded
+                            // buffering) guarantees acceptance; a refusal
+                            // would be a backend bug, not a protocol state.
+                            if ports[pi].send_package(dst, &mut pkg) == SendOutcome::Busy {
+                                return Err(ExecError::Internal {
+                                    proc: pi as ProcId,
+                                    detail: "virtual mailbox refused a probed-empty send".into(),
+                                });
+                            }
                             addr_pkgs_sent += 1;
                             push(&mut events, &mut seq, arrive, dst as u32);
                         }
@@ -647,7 +676,7 @@ impl<'a> DesExecutor<'a> {
             msgs_sent,
             addr_pkgs_sent,
             suspended_sends: suspended_ever.len(),
-            peak_queued_pkgs: peak_queued,
+            peak_queued_pkgs: vm.peak_queued(),
             finish,
             trace,
             metrics,

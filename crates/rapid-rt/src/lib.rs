@@ -27,4 +27,4 @@ pub use des::{DesConfig, DesExecutor, DesOutcome};
 pub use inspector::Inspector;
 pub use maps::{ExecError, MapPlacement, MapWindow, PlannedMap, RtPlan};
 pub use rapid_trace::{TraceConfig, TraceSet};
-pub use threaded::{run_sequential, TaskCtx, ThreadedExecutor, ThreadedOutcome};
+pub use threaded::{run_sequential, Backend, TaskCtx, ThreadedExecutor, ThreadedOutcome};

@@ -36,21 +36,36 @@
 //! - **Blocking waits use tiered backoff** ([`Backoff`]: bounded spin
 //!   hints → `yield_now` → short bounded parks) instead of an
 //!   unconditional `yield_now` per poll, and reset to the spin tier on
-//!   every observed progress.
+//!   every observed progress. With the aggregating backend the backoff
+//!   is flush-aware: buffered address packages are pushed toward their
+//!   destinations before the first yield surrenders the core.
 //! - **Address packages are batched.** A MAP's notifications arrive
 //!   pre-sorted by destination, so the worker assembles one package per
 //!   collaborating processor in a reusable buffer and performs one
-//!   mailbox hand-off each — no per-entry contention, no allocation in
-//!   steady state.
+//!   [`Port::send_package`] hand-off each — no per-entry contention, no
+//!   allocation in steady state.
+//! - **The comm backend is pluggable.** The protocol is written once
+//!   against the [`Machine`]/[`Port`] surface; [`Backend::Direct`] is
+//!   the paper-faithful single-slot scheme (senders block on a full
+//!   slot), [`Backend::Aggregating`] coalesces logical packages per
+//!   destination into batched hand-offs and never blocks the sender.
+//!   The END state retires only once the port's buffers are drained, so
+//!   the Theorem-1 obligations survive aggregation.
+//! - **Workers can pin to cores.** [`ThreadedExecutor::with_pinning`]
+//!   assigns workers to physical cores NUMA-aware (see
+//!   [`rapid_machine::affinity`]) so the per-processor arena and RMA
+//!   working sets stop migrating between caches.
 
 use crate::inspector::{ProcDiag, StallSnapshot, StateBoard, WorkerState};
 use crate::maps::{AccessOp, AccessViolation, ExecError, MapPlanner, RtPlan};
 use rapid_core::graph::{ObjId, TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
+use rapid_machine::affinity;
 use rapid_machine::arena::{Arena, ArenaError};
 use rapid_machine::backoff::{Backoff, Retry};
 use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
-use rapid_machine::mailbox::{AddrEntry, MailboxBoard};
+use rapid_machine::machine::{AggregatingMachine, DirectMachine, Machine, Port, SendOutcome};
+use rapid_machine::mailbox::AddrEntry;
 use rapid_machine::rma::{FlagBoard, RmaHeap};
 use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet};
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
@@ -199,6 +214,24 @@ pub struct ThreadedOutcome {
     pub metrics: Option<Vec<ProcMetrics>>,
 }
 
+/// Comm-backend selection for the threaded executor (see the module
+/// docs; both run the identical protocol code behind [`Machine`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Paper-faithful single-slot address mailboxes: a sender whose
+    /// destination slot is still occupied blocks in MAP
+    /// (service-and-retry) until the receiver drains it.
+    Direct,
+    /// Native fast path: logical packages coalesce in per-destination
+    /// sender-side buffers and travel as one physical batch. Senders
+    /// never block; `threshold` is the entry count above which a
+    /// destination buffer is opportunistically flushed on send.
+    Aggregating {
+        /// Entries per destination buffer before an eager flush.
+        threshold: usize,
+    },
+}
+
 /// The threaded executor.
 pub struct ThreadedExecutor<'a> {
     g: &'a TaskGraph,
@@ -210,6 +243,8 @@ pub struct ThreadedExecutor<'a> {
     /// Defaults to 30 s, overridable through the `RAPID_WATCHDOG_MS`
     /// environment variable or [`ThreadedExecutor::with_watchdog`].
     pub watchdog: Duration,
+    backend: Backend,
+    pinning: bool,
     faults: Option<FaultPlan>,
     tracing: Option<TraceConfig>,
 }
@@ -225,7 +260,17 @@ impl<'a> ThreadedExecutor<'a> {
         );
         let plan = RtPlan::new(g, sched);
         let watchdog = parse_watchdog_ms(std::env::var("RAPID_WATCHDOG_MS").ok().as_deref());
-        ThreadedExecutor { g, sched, plan, capacity, watchdog, faults: None, tracing: None }
+        ThreadedExecutor {
+            g,
+            sched,
+            plan,
+            capacity,
+            watchdog,
+            backend: Backend::Direct,
+            pinning: false,
+            faults: None,
+            tracing: None,
+        }
     }
 
     /// The protocol plan this executor runs. Pair with
@@ -247,6 +292,28 @@ impl<'a> ThreadedExecutor<'a> {
     /// the `RAPID_WATCHDOG_MS` default read by [`ThreadedExecutor::new`]).
     pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Select the comm backend (builder form; defaults to
+    /// [`Backend::Direct`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for the aggregating backend with the given flush
+    /// threshold (entries per destination buffer; see
+    /// [`rapid_machine::machine::DEFAULT_AGG_THRESHOLD`]).
+    pub fn with_aggregation(self, threshold: usize) -> Self {
+        self.with_backend(Backend::Aggregating { threshold })
+    }
+
+    /// Pin each worker thread to a physical core, NUMA-aware (builder
+    /// form). When the host has fewer distinct cores than workers the
+    /// plan degrades to floating threads, which is always safe.
+    pub fn with_pinning(mut self, pinning: bool) -> Self {
+        self.pinning = pinning;
         self
     }
 
@@ -284,6 +351,26 @@ impl<'a> ThreadedExecutor<'a> {
         F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
         I: Fn(ObjId, &mut [f64]) + Sync,
     {
+        // Monomorphize the protocol over the chosen backend: the worker
+        // code below is compiled once per machine type with no dynamic
+        // dispatch on the hot path.
+        let nprocs = self.sched.assign.nprocs;
+        match self.backend {
+            Backend::Direct => self.run_on(&DirectMachine::new(nprocs), body, init),
+            Backend::Aggregating { threshold } => {
+                self.run_on(&AggregatingMachine::with_threshold(nprocs, threshold), body, init)
+            }
+        }
+    }
+
+    /// The backend-generic run: everything protocol happens here,
+    /// against the [`Machine`]/[`Port`] surface only.
+    fn run_on<M, F, I>(&self, machine: &M, body: F, init: I) -> Result<ThreadedOutcome, ExecError>
+    where
+        M: Machine,
+        F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
+        I: Fn(ObjId, &mut [f64]) + Sync,
+    {
         let nprocs = self.sched.assign.nprocs;
         let g = self.g;
         let sched = self.sched;
@@ -310,11 +397,12 @@ impl<'a> ThreadedExecutor<'a> {
 
         let heaps: Vec<RmaHeap> = (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
         let flags = FlagBoard::new(self.plan.msgs.len());
-        let mailboxes = MailboxBoard::new(nprocs);
         let state = StateBoard::new(nprocs);
         let poison = AtomicBool::new(false);
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
         let error = &error;
+        let pin_plan: Vec<Option<usize>> =
+            if self.pinning { affinity::assign_cores(nprocs) } else { vec![None; nprocs] };
 
         let epoch = Instant::now();
         let shared = Shared {
@@ -325,7 +413,8 @@ impl<'a> ThreadedExecutor<'a> {
             perm_off: &perm_off,
             heaps: &heaps,
             flags: &flags,
-            mailboxes: &mailboxes,
+            machine,
+            pin_plan: &pin_plan,
             state: &state,
             poison: &poison,
             watchdog: self.watchdog,
@@ -460,7 +549,7 @@ where
 
 /// Everything the workers share by reference — one immutable bundle so
 /// the worker signature stays small.
-struct Shared<'e, F, I> {
+struct Shared<'e, F, I, M> {
     g: &'e TaskGraph,
     sched: &'e Schedule,
     plan: &'e RtPlan,
@@ -468,7 +557,10 @@ struct Shared<'e, F, I> {
     perm_off: &'e [u64],
     heaps: &'e [RmaHeap],
     flags: &'e FlagBoard,
-    mailboxes: &'e MailboxBoard,
+    machine: &'e M,
+    /// Worker → core plan (`None` = float); all-`None` unless
+    /// [`ThreadedExecutor::with_pinning`] was requested.
+    pin_plan: &'e [Option<usize>],
     state: &'e StateBoard,
     poison: &'e AtomicBool,
     watchdog: Duration,
@@ -531,23 +623,32 @@ impl Pacer {
         self.last_progress.elapsed() > watchdog
     }
 
-    /// Wait once, escalating the backoff tier.
+    /// Wait once, escalating the backoff tier. Aggregation-aware: at the
+    /// spin→yield boundary the port's buffered packages are flushed —
+    /// this worker is about to surrender the core, so anything parked in
+    /// its sender-side buffers must move toward its destination first. A
+    /// successful flush is watchdog progress.
     #[inline]
-    fn wait(&mut self) {
-        self.backoff.wait();
+    fn wait<P: Port>(&mut self, port: &mut P) {
+        let mut flushed = false;
+        self.backoff.wait_flushing(|| flushed = port.flush());
+        if flushed {
+            self.mark();
+        }
     }
 }
 
 /// Per-worker communication state: the dense address tables plus the
-/// indexed suspended-send queue.
-struct Net<'e> {
+/// indexed suspended-send queue, built around this worker's comm
+/// [`Port`].
+struct Net<'e, P: Port> {
     p: usize,
     nobj: usize,
     plan: &'e RtPlan,
     g: &'e TaskGraph,
     heaps: &'e [RmaHeap],
     flags: &'e FlagBoard,
-    mailboxes: &'e MailboxBoard,
+    port: P,
     /// Object id → offset of its buffer on this processor ([`NO_ADDR`]
     /// when not resident). Permanent entries are seeded once; volatile
     /// entries are set/cleared by MAP alloc/free.
@@ -564,8 +665,6 @@ struct Net<'e> {
     woken: Vec<u32>,
     /// Number of currently suspended sends.
     suspended: usize,
-    /// Scratch for draining mailbox packages without allocation.
-    ra_scratch: Vec<AddrEntry>,
     /// Deterministic fault injector for this processor, when chaos runs
     /// enable one ([`ThreadedExecutor::with_faults`]).
     faults: Option<ProcFaults>,
@@ -578,8 +677,11 @@ struct Net<'e> {
     pkg_recv_seq: Vec<u32>,
 }
 
-impl<'e> Net<'e> {
-    fn new<F, I>(p: usize, sh: &Shared<'e, F, I>) -> Self {
+impl<'e, P: Port> Net<'e, P> {
+    fn new<F, I, M>(p: usize, sh: &Shared<'e, F, I, M>, port: P) -> Self
+    where
+        M: Machine,
+    {
         let nobj = sh.g.num_objects();
         let nprocs = sh.sched.assign.nprocs;
         let mut local = vec![NO_ADDR; nobj];
@@ -599,13 +701,12 @@ impl<'e> Net<'e> {
             g: sh.g,
             heaps: sh.heaps,
             flags: sh.flags,
-            mailboxes: sh.mailboxes,
+            port,
             local,
             known,
             waiters: vec![Vec::new(); nobj],
             woken: Vec::new(),
             suspended: 0,
-            ra_scratch: Vec::new(),
             faults: sh.faults.map(|f| f.for_proc(p)),
             tr: None,
             pkg_send_seq: vec![0; nprocs],
@@ -672,35 +773,46 @@ impl<'e> Net<'e> {
         }
     }
 
-    /// RA + incremental CQ: drain incoming address packages, then retry
-    /// exactly the parked sends the new addresses may unblock. Returns
-    /// `true` if any package arrived or any suspended send completed.
+    /// RA + incremental CQ: drain incoming address packages (one batched
+    /// callback per source, covering every logical package the run
+    /// carries), then retry exactly the parked sends the new addresses
+    /// may unblock. Every service round is also a flush opportunity for
+    /// packages buffered in this worker's port (eventual delivery under
+    /// aggregation). Returns `true` if any package arrived, any buffered
+    /// batch was handed off, or any suspended send completed.
     fn service(&mut self) -> bool {
-        let mb = self.mailboxes;
-        let p = self.p;
         let nobj = self.nobj;
         let known = &mut self.known;
         let waiters = &mut self.waiters;
         let woken = &mut self.woken;
         let tr = &mut self.tr;
         let recv_seq = &mut self.pkg_recv_seq;
-        let drained = mb.drain_for_into(p, &mut self.ra_scratch, |src, entries| {
+        let drained = self.port.drain_batched(|src, entries, seg_ends| {
             let base = src * nobj;
             for e in entries {
                 known[base + e.obj as usize] = e.offset;
                 woken.append(&mut waiters[e.obj as usize]);
             }
             if let Some(tr) = tr.as_mut() {
-                let seq = recv_seq[src];
-                recv_seq[src] = seq + 1;
-                tr.rec(Event::PkgRecv {
-                    src: src as u32,
-                    seq,
-                    objs: entries.iter().map(|e| e.obj).collect(),
-                });
+                // One PkgRecv per *logical* package: a physical batch
+                // replays exactly like the unbatched package sequence.
+                let mut start = 0usize;
+                for &end in seg_ends {
+                    let seq = recv_seq[src];
+                    recv_seq[src] = seq + 1;
+                    tr.rec(Event::PkgRecv {
+                        src: src as u32,
+                        seq,
+                        objs: entries[start..end as usize].iter().map(|e| e.obj).collect(),
+                    });
+                    start = end as usize;
+                }
             }
         });
         let mut progress = drained > 0;
+        if self.port.pending() > 0 && self.port.flush() {
+            progress = true;
+        }
         while let Some(mid) = self.woken.pop() {
             if let Some(tr) = self.tr.as_mut() {
                 tr.rec(Event::CqRetry { msg: mid });
@@ -719,20 +831,27 @@ impl<'e> Net<'e> {
 }
 
 /// Per-thread worker: returns `(maps, peak_units, arena_peak, trace)`.
-fn worker<F, I>(
+fn worker<F, I, M>(
     p: usize,
-    sh: &Shared<'_, F, I>,
+    sh: &Shared<'_, F, I, M>,
     fail: &(impl Fn(ExecError) + Sync),
 ) -> (u32, u64, u64, Option<ProcTrace>)
 where
     F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
     I: Fn(ObjId, &mut [f64]) + Sync,
+    M: Machine,
 {
     let g = sh.g;
     let sched = sh.sched;
     let plan = sh.plan;
     let heaps = sh.heaps;
     let flags = sh.flags;
+
+    // Pin before touching any heap memory so first-touch pages land on
+    // this worker's NUMA node. Failure leaves the thread floating.
+    if let Some(cpu) = sh.pin_plan[p] {
+        let _ = affinity::pin_current_thread(cpu);
+    }
 
     let mut tr = sh.tracing.map(|cfg| Tr { t: ProcTrace::new(p as u32, cfg), t0: sh.epoch });
     if let Some(tr) = tr.as_mut() {
@@ -766,7 +885,7 @@ where
     }
 
     let mut planner = MapPlanner::new(p as u32, sh.capacity, plan.perm_units[p]);
-    let mut net = Net::new(p, sh);
+    let mut net = Net::new(p, sh, sh.machine.port(p));
     net.tr = tr;
 
     // Pooled task-context parts (no allocation in steady state).
@@ -806,7 +925,7 @@ where
                     });
                     bail!();
                 }
-                pacer.wait();
+                pacer.wait(&mut net.port);
             }
         };
     }
@@ -964,8 +1083,15 @@ where
                         if let Some(tr) = net.tr.as_mut() {
                             tr.rec(Event::Fault { site: FaultSite::MailboxReject });
                         }
-                    } else if sh.mailboxes.slot(p, dst as usize).try_send_from(&mut pkg_buf) {
-                        break;
+                    } else {
+                        // Delivered and Buffered both complete the logical
+                        // hand-off (the port owns the entries from here);
+                        // only Busy — the direct backend's full slot —
+                        // makes this MAP block and service-retry.
+                        match net.port.send_package(dst as usize, &mut pkg_buf) {
+                            SendOutcome::Delivered | SendOutcome::Buffered => break,
+                            SendOutcome::Busy => {}
+                        }
                     }
                     if !reported_busy {
                         reported_busy = true;
@@ -985,6 +1111,15 @@ where
                     }
                 }
                 pacer.mark();
+            }
+            // Hand any coalesced batches over eagerly: under aggregation
+            // the sends above never block, so one flush attempt at MAP
+            // end bounds notification latency by the MAP itself without
+            // re-introducing the per-package blocking of the direct
+            // backend (a busy slot just leaves the batch parked for the
+            // service-loop and pre-park flushes).
+            if net.port.pending() > 0 {
+                net.port.flush();
             }
             if let Some(tr) = net.tr.as_mut() {
                 tr.rec(Event::MapEnd {
@@ -1103,11 +1238,15 @@ where
         pacer.mark();
     }
 
-    // END state: drain the suspended queue.
+    // END state: drain the suspended queue AND this port's aggregation
+    // buffers — a buffered address package that never got flushed would
+    // strand a peer's suspended send forever, so END may not retire
+    // while `pending() > 0` (the aggregation half of the Theorem-1
+    // obligations).
     if let Some(tr) = net.tr.as_mut() {
         tr.state(ProtoState::End);
     }
-    while net.suspended > 0 {
+    while net.suspended > 0 || net.port.pending() > 0 {
         sh.state.publish(p, WorkerState::End, pos, net.suspended as u32);
         spin_service!();
     }
@@ -1124,19 +1263,24 @@ where
 /// worker traces, the tail of its event ring (what it was doing right
 /// before the silence). Called (rarely — watchdog expiry only) by the
 /// worker that detected the stall.
-fn build_snapshot<F, I>(
+fn build_snapshot<F, I, M: Machine>(
     reporter: usize,
-    sh: &Shared<'_, F, I>,
+    sh: &Shared<'_, F, I, M>,
     trace: Option<&ProcTrace>,
 ) -> StallSnapshot {
     let nprocs = sh.sched.assign.nprocs;
+    let board = sh.machine.board();
     let procs = (0..nprocs)
         .map(|q| {
             let (state, pos, suspended) = sh.state.read(q);
-            let mailbox_full_to = (0..nprocs)
-                .filter(|&r| r != q && sh.mailboxes.slot(q, r).is_full())
-                .map(|r| r as u32)
-                .collect();
+            let mailbox_full_to = board
+                .map(|b| {
+                    (0..nprocs)
+                        .filter(|&r| r != q && b.slot(q, r).is_full())
+                        .map(|r| r as u32)
+                        .collect()
+                })
+                .unwrap_or_default();
             ProcDiag {
                 proc: q as u32,
                 state,
@@ -1144,6 +1288,7 @@ fn build_snapshot<F, I>(
                 order_len: sh.sched.order[q].len() as u32,
                 suspended_sends: suspended,
                 mailbox_full_to,
+                buffered_pkgs: sh.machine.pending_hint(q) as u32,
             }
         })
         .collect();
