@@ -453,6 +453,15 @@ fn spd_block(n: usize) -> Vec<f64> {
 /// graphs of growing size. The heap path is the production one; the
 /// reference recomputes priorities by scanning the whole ready list at
 /// every pick, so the gap widens with task count.
+///
+/// A second block measures the PR-7 planning front-end at scale (10^6
+/// tasks, ~2000 in `--check`): `plan_parallel` for each policy against
+/// the PR-2 sequential pipeline, and the `replan/*` rows — cold
+/// sequential plan, cold parallel plan ([`rapid_verify::Replanner`]),
+/// and a capacity-only replan. Scale rows are single-shot (a cold
+/// 10^6-task reference plan runs the better part of a minute), and
+/// every parallel order is asserted equal to its sequential twin, so
+/// the bench doubles as a determinism check.
 fn scheduling_report(check: bool) -> Vec<Entry> {
     use rapid_sched::assign::{cyclic_owner_map, owner_compute_assignment};
     use rapid_sched::{
@@ -513,7 +522,154 @@ fn scheduling_report(check: bool) -> Vec<Entry> {
             });
         }
     }
+    planner_scale_rows(check, nprocs, &mut out);
     out
+}
+
+/// The PR-7 scale rows: `plan_parallel` vs the PR-2 sequential planner
+/// for every policy, plus the cold-vs-incremental replan latencies.
+fn planner_scale_rows(check: bool, nprocs: usize, out: &mut Vec<Entry>) {
+    use rapid_core::dcg::Dcg;
+    use rapid_rt::maps::{MapWindow, RtPlan};
+    use rapid_sched::assign::{cyclic_owner_map, owner_compute_assignment};
+    use rapid_sched::{
+        dts_order_merged_reference, mpo_order, plan_parallel, rcp_order, slice_h_par, PlanPolicy,
+    };
+    use rapid_verify::Replanner;
+    use std::time::Instant;
+
+    let tasks: usize = if check { 2_000 } else { 1_000_000 };
+    let nthreads = 8usize;
+    let spec = RandomGraphSpec {
+        objects: tasks / 4,
+        tasks,
+        max_obj_size: 4,
+        max_reads: 3,
+        update_prob: 0.35,
+        accum_prob: 0.05,
+        max_weight: 4.0,
+    };
+    let g = random_irregular_graph(2026, &spec);
+    let owner = cyclic_owner_map(g.num_objects(), nprocs);
+    let assign = owner_compute_assignment(&g, &owner, nprocs);
+    let cost = CostModel::unit();
+
+    // Capacity for the merged-DTS rows: a feasible-but-tight budget
+    // derived from an untimed scouting pass (max permanent load plus
+    // twice the largest slice requirement).
+    let dcg = Dcg::build_par(&g, nthreads);
+    let h = slice_h_par(&g, &assign, &dcg, nthreads);
+    let hmax = h.iter().copied().max().unwrap_or(0);
+    let mut perm = vec![0u64; nprocs];
+    for d in g.objects() {
+        perm[assign.owner_of(d) as usize] += g.obj_size(d);
+    }
+    let capacity = perm.iter().copied().max().unwrap_or(0) + 2 * hmax + 64;
+    drop((dcg, h));
+
+    let planner_extras = |par: f64, seq: f64| {
+        vec![
+            ("reference_ns_per_iter".into(), format!("{seq:.1}")),
+            ("speedup".into(), format!("{:.3}", seq / par)),
+            ("tasks".into(), tasks.to_string()),
+            ("nprocs".into(), nprocs.to_string()),
+            ("nthreads_requested".into(), nthreads.to_string()),
+            ("nthreads_effective".into(), rapid_core::par::effective_threads(nthreads).to_string()),
+        ]
+    };
+    let shot = |ns: std::time::Duration| ns.as_nanos() as f64;
+
+    // One row per policy: ns = plan_parallel, reference = the PR-2
+    // sequential planner for the same policy (for merged DTS that is
+    // the quadratic-H pipeline this PR replaced).
+    let mut seq_dts: Option<rapid_core::schedule::Schedule> = None;
+    let mut ref_dts_ns = 0.0f64;
+    for pname in ["rcp", "mpo", "dts"] {
+        let policy = match pname {
+            "rcp" => PlanPolicy::Rcp,
+            "mpo" => PlanPolicy::Mpo,
+            _ => PlanPolicy::DtsMerged { capacity },
+        };
+        let t = Instant::now();
+        let par = plan_parallel(&g, &assign, &cost, policy, nthreads);
+        let par_ns = shot(t.elapsed());
+        let t = Instant::now();
+        let seq = match pname {
+            "rcp" => rcp_order(&g, &assign, &cost),
+            "mpo" => mpo_order(&g, &assign, &cost),
+            _ => dts_order_merged_reference(&g, &assign, &cost, capacity),
+        };
+        let seq_ns = shot(t.elapsed());
+        assert_eq!(
+            par.order, seq.order,
+            "plan_parallel({pname}) diverged from the sequential planner at {tasks} tasks"
+        );
+        println!(
+            "scheduling/{pname}/{tasks}: parallel {} sequential {} speedup {:.2}x",
+            fmt_ns(par_ns),
+            fmt_ns(seq_ns),
+            seq_ns / par_ns
+        );
+        out.push(Entry {
+            name: format!("{pname}/{tasks}"),
+            ns: par_ns,
+            extra: planner_extras(par_ns, seq_ns),
+        });
+        if pname == "dts" {
+            seq_dts = Some(seq);
+            ref_dts_ns = seq_ns;
+        }
+    }
+    let Some(seq_dts) = seq_dts else { unreachable!("dts policy always measured") };
+
+    // Cold sequential plan, end to end: the reference ordering (timed
+    // above — a pipeline's latency is the sum of its stages) plus the
+    // sequential protocol plan, MAP placement and full verification.
+    let t = Instant::now();
+    let plan = RtPlan::new(&g, &seq_dts);
+    let placement = plan
+        .place_maps(&g, &seq_dts, capacity, MapWindow::Greedy)
+        .expect("bench capacity feasible");
+    let cold_report = rapid_verify::verify(&g, &seq_dts, &plan, &placement);
+    assert!(cold_report.accepted(), "cold plan rejected: {:?}", cold_report.findings);
+    let cold_ns = ref_dts_ns + shot(t.elapsed());
+
+    // Cold parallel plan and the capacity-only incremental replan
+    // (+12.5% — a tenant's budget loosening at runtime).
+    let t = Instant::now();
+    let (mut rp, cold_par) = Replanner::new(&g, &assign, &cost, capacity, nthreads);
+    let cold_par_ns = shot(t.elapsed());
+    assert!(cold_par.report.accepted(), "parallel cold plan rejected");
+    let t = Instant::now();
+    let re = rp.replan_capacity(capacity + capacity / 8);
+    let replan_ns = shot(t.elapsed());
+    assert!(re.incremental, "capacity growth must take the incremental path");
+    assert!(re.report.accepted(), "incremental replan rejected: {:?}", re.report.findings);
+
+    println!(
+        "scheduling/replan/{tasks}: cold {} cold-parallel {} cap-only {} speedup-vs-cold {:.2}x",
+        fmt_ns(cold_ns),
+        fmt_ns(cold_par_ns),
+        fmt_ns(replan_ns),
+        cold_ns / replan_ns
+    );
+    let scale_extras = |extra: &mut Vec<(String, String)>| {
+        extra.push(("tasks".into(), tasks.to_string()));
+        extra.push(("nprocs".into(), nprocs.to_string()));
+    };
+    let mut extra = vec![("capacity".into(), capacity.to_string())];
+    scale_extras(&mut extra);
+    out.push(Entry { name: format!("replan/cold/{tasks}"), ns: cold_ns, extra });
+    let mut extra = vec![("speedup_vs_cold".into(), format!("{:.3}", cold_ns / cold_par_ns))];
+    scale_extras(&mut extra);
+    out.push(Entry { name: format!("replan/cold-parallel/{tasks}"), ns: cold_par_ns, extra });
+    let mut extra = vec![
+        ("speedup_vs_cold".into(), format!("{:.3}", cold_ns / replan_ns)),
+        ("incremental".into(), re.incremental.to_string()),
+        ("accepted".into(), re.report.accepted().to_string()),
+    ];
+    scale_extras(&mut extra);
+    out.push(Entry { name: format!("replan/cap-only/{tasks}"), ns: replan_ns, extra });
 }
 
 fn report_pair(out: &mut Vec<Entry>, kernel: &str, n: usize, tiled: f64, naive: f64) {

@@ -1,13 +1,17 @@
-//! `srclint` — repo-local source lint: the runtime crates must not
-//! panic on recoverable conditions, so `.unwrap()` / `.expect(` are
-//! banned in the non-test code of `rapid-rt` and `rapid-machine` (the
-//! two crates that execute user plans and hold cross-thread locks; a
-//! panic there poisons mutexes and turns a recoverable fault into a
-//! deadlock). CI runs this binary and fails on any offender.
+//! `srclint` — repo-local source lint: the runtime and planning crates
+//! must not panic on recoverable conditions, so `.unwrap()` / `.expect(`
+//! are banned in the non-test code of `rapid-rt` and `rapid-machine`
+//! (the two crates that execute user plans and hold cross-thread locks;
+//! a panic there poisons mutexes and turns a recoverable fault into a
+//! deadlock), and of `rapid-sched` and `rapid-verify` (the planning
+//! front-end now fans work out over scoped threads, where a panic tears
+//! down every sibling worker mid-plan). CI runs this binary and fails
+//! on any offender.
 //!
 //! Scope rules: scanning stops at the first `#[cfg(test)]` line of each
-//! file (repo convention keeps test modules last) and `//` comment lines
-//! are ignored.
+//! file (repo convention keeps test modules last), `//` comment lines
+//! are ignored, and `src/bin/` trees are exempt (CLI tools may panic on
+//! their own arguments).
 
 use std::path::{Path, PathBuf};
 
@@ -15,6 +19,8 @@ use std::path::{Path, PathBuf};
 const ROOTS: &[&str] = &[
     concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-rt/src"),
     concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-machine/src"),
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-sched/src"),
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-verify/src"),
 ];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -24,6 +30,9 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue; // CLI tools may panic on their own arguments
+            }
             rust_files(&path, out);
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);

@@ -49,7 +49,7 @@ impl fmt::Debug for ObjId {
 
 /// Compressed adjacency: `targets[offsets[i]..offsets[i+1]]` are the
 /// neighbours of node `i`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<u32>,
@@ -451,6 +451,21 @@ impl TaskGraphBuilder {
 
     /// Validate and freeze into a [`TaskGraph`].
     pub fn build(self) -> Result<TaskGraph, GraphError> {
+        self.build_sharded(1)
+    }
+
+    /// Parallel [`TaskGraphBuilder::build`]: the CSR transposes
+    /// (per-object reader/writer/accessor lists) are assembled from
+    /// per-shard partial lists built concurrently over contiguous task
+    /// ranges on the std-only pool ([`crate::par`]). Concatenating shard
+    /// partials in shard order visits tasks in ascending id order —
+    /// exactly the sequential scan — so the result is bit-identical to
+    /// `build()` for every thread count.
+    pub fn build_par(self, nthreads: usize) -> Result<TaskGraph, GraphError> {
+        self.build_sharded(nthreads.max(1))
+    }
+
+    fn build_sharded(self, nshards: usize) -> Result<TaskGraph, GraphError> {
         let n = self.task_weight.len();
         let m = self.obj_size.len();
         let mut succ_lists = vec![Vec::new(); n];
@@ -467,67 +482,87 @@ impl TaskGraphBuilder {
         }
         let mut reads = self.reads;
         let mut writes = self.writes;
+        // Normalize the per-task access sets in parallel (independent per
+        // task), then validate object ids shard by shard; the first bad
+        // id in (task, sorted position) order is reported, matching the
+        // sequential scan.
+        crate::par::for_each_shard_mut(nshards, &mut reads, |_start, chunk| {
+            for rs in chunk {
+                rs.sort_unstable();
+                rs.dedup();
+            }
+        });
+        crate::par::for_each_shard_mut(nshards, &mut writes, |_start, chunk| {
+            for ws in chunk {
+                ws.sort_unstable();
+                ws.dedup();
+            }
+        });
+        for sets in [&reads, &writes] {
+            let bad = crate::par::map_shards(nshards, n, |_i, range| {
+                range.flat_map(|t| sets[t].iter().copied()).find(|&d| d as usize >= m)
+            });
+            if let Some(d) = bad.into_iter().flatten().next() {
+                return Err(GraphError::BadObject(d));
+            }
+        }
+        crate::par::for_each_shard_mut(nshards, &mut succ_lists, |_start, chunk| {
+            for l in chunk {
+                l.sort_unstable();
+                l.dedup();
+            }
+        });
+        crate::par::for_each_shard_mut(nshards, &mut pred_lists, |_start, chunk| {
+            for l in chunk {
+                l.sort_unstable();
+                l.dedup();
+            }
+        });
+        // CSR transposes (readers, writers, accessors). Each shard walks
+        // its contiguous task range emitting `(object, task)` pairs; the
+        // accessor stream is the sorted merge of the task's read and
+        // write sets, so each per-object list stays sorted and
+        // duplicate-free without a final sort pass. Concatenating shard
+        // streams in shard order visits tasks in ascending id order —
+        // exactly the sequential scan, so the transposes are
+        // bit-identical for every shard count.
+        let reads_ref = &reads;
+        let writes_ref = &writes;
+        type Pairs = Vec<(u32, u32)>;
+        let shard_pairs: Vec<(Pairs, Pairs, Pairs)> =
+            crate::par::map_shards(nshards, n, |_i, range| {
+                let mut rp: Pairs = Vec::new();
+                let mut wp: Pairs = Vec::new();
+                let mut ap: Pairs = Vec::new();
+                for t in range {
+                    let (rs, ws) = (&reads_ref[t], &writes_ref[t]);
+                    for &d in rs {
+                        rp.push((d, t as u32));
+                    }
+                    for &d in ws {
+                        wp.push((d, t as u32));
+                    }
+                    for d in merge_sorted(rs, ws) {
+                        ap.push((d, t as u32));
+                    }
+                }
+                (rp, wp, ap)
+            });
         let mut reader_lists = vec![Vec::new(); m];
         let mut writer_lists = vec![Vec::new(); m];
-        for (t, rs) in reads.iter_mut().enumerate() {
-            rs.sort_unstable();
-            rs.dedup();
-            for &d in rs.iter() {
-                if d as usize >= m {
-                    return Err(GraphError::BadObject(d));
-                }
-                reader_lists[d as usize].push(t as u32);
-            }
-        }
-        for (t, ws) in writes.iter_mut().enumerate() {
-            ws.sort_unstable();
-            ws.dedup();
-            for &d in ws.iter() {
-                if d as usize >= m {
-                    return Err(GraphError::BadObject(d));
-                }
-                writer_lists[d as usize].push(t as u32);
-            }
-        }
-        for l in succ_lists.iter_mut().chain(pred_lists.iter_mut()) {
-            l.sort_unstable();
-            l.dedup();
-        }
-        // Accessor transpose: tasks are visited in ascending id order and
-        // the per-task read/write sets are already sorted+deduped, so a
-        // sorted merge keeps each per-object list sorted and duplicate-free
-        // without a final sort pass.
         let mut accessor_lists = vec![Vec::new(); m];
-        for t in 0..n {
-            let (rs, ws) = (&reads[t], &writes[t]);
-            let (mut i, mut j) = (0, 0);
-            while i < rs.len() || j < ws.len() {
-                let d = match (rs.get(i), ws.get(j)) {
-                    (Some(&r), Some(&w)) => {
-                        if r <= w {
-                            i += 1;
-                            if r == w {
-                                j += 1;
-                            }
-                            r
-                        } else {
-                            j += 1;
-                            w
-                        }
-                    }
-                    (Some(&r), None) => {
-                        i += 1;
-                        r
-                    }
-                    (None, Some(&w)) => {
-                        j += 1;
-                        w
-                    }
-                    (None, None) => unreachable!(),
-                };
-                accessor_lists[d as usize].push(t as u32);
+        for (rp, wp, ap) in &shard_pairs {
+            for &(d, t) in rp {
+                reader_lists[d as usize].push(t);
+            }
+            for &(d, t) in wp {
+                writer_lists[d as usize].push(t);
+            }
+            for &(d, t) in ap {
+                accessor_lists[d as usize].push(t);
             }
         }
+        drop(shard_pairs);
         let mut commute_group = vec![u32::MAX; n];
         for &(t, grp) in &self.commute {
             if t as usize >= n {

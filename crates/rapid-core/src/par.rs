@@ -1,0 +1,155 @@
+//! Std-only fork/join helpers for the parallel planning front-end.
+//!
+//! Everything here is built on [`std::thread::scope`] — no dependencies,
+//! no persistent pool. Work is split into a fixed number of *shards*
+//! (contiguous index ranges) and the per-shard results are combined in
+//! shard order, so the output of every helper is a pure function of the
+//! shard count, never of the number of OS threads that happened to run
+//! them. The planner keys its sharding to the *requested* thread count
+//! and clamps only the number of spawned threads to the host (mirroring
+//! `rapid-machine::affinity::online_cpus`, which reads
+//! [`std::thread::available_parallelism`]); plans are therefore
+//! bit-identical across hosts, including single-CPU containers.
+
+use std::ops::Range;
+
+/// Number of worker threads actually worth spawning for `requested`
+/// shards: at least 1, at most the host's available parallelism. The
+/// shard *count* is never clamped — only the threads that execute them —
+/// so results stay independent of the host.
+pub fn effective_threads(requested: usize) -> usize {
+    let online = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    requested.clamp(1, online.max(1))
+}
+
+/// The `i`-th of `nshards` contiguous, nearly-even chunks of `0..n`.
+pub fn shard_range(nshards: usize, n: usize, i: usize) -> Range<usize> {
+    let per = n / nshards;
+    let extra = n % nshards;
+    let start = i * per + i.min(extra);
+    let end = start + per + usize::from(i < extra);
+    start..end
+}
+
+/// Run `f(shard, range)` over `nshards` even chunks of `0..n` and return
+/// the per-shard results in shard order. Shards are executed by at most
+/// [`effective_threads`]`(nshards)` scoped threads (round-robin), or
+/// inline when only one thread is worth spawning; either way the result
+/// vector is identical. A panicking shard propagates.
+pub fn map_shards<T, F>(nshards: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let nshards = nshards.max(1);
+    let workers = effective_threads(nshards);
+    if workers <= 1 {
+        return (0..nshards).map(|i| f(i, shard_range(nshards, n, i))).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..nshards).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut i = w;
+                    while i < nshards {
+                        mine.push((i, f(i, shard_range(nshards, n, i))));
+                        i += workers;
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, v) in pairs {
+                        out[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Split `data` into `nshards` contiguous chunks and run
+/// `f(start_index, chunk)` on each, in parallel. The chunks are disjoint
+/// mutable views, so this is the in-place counterpart of [`map_shards`]
+/// for filling or sorting a shared buffer.
+pub fn for_each_shard_mut<T, F>(nshards: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let nshards = nshards.max(1);
+    let n = data.len();
+    if effective_threads(nshards) <= 1 || nshards == 1 {
+        for i in 0..nshards {
+            let r = shard_range(nshards, n, i);
+            f(r.start, &mut data[r.clone()]);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut start = 0usize;
+        for i in 0..nshards {
+            let r = shard_range(nshards, n, i);
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            s.spawn(move || f(start, chunk));
+            start += r.len();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for k in [1usize, 2, 3, 8, 13] {
+                let mut covered = Vec::new();
+                for i in 0..k {
+                    covered.extend(shard_range(k, n, i));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_shards_is_shard_deterministic() {
+        let n = 1000usize;
+        for k in [1usize, 2, 4, 8] {
+            let sums = map_shards(k, n, |_i, r| r.sum::<usize>());
+            assert_eq!(sums.len(), k);
+            assert_eq!(sums.iter().sum::<usize>(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn for_each_shard_mut_touches_every_element() {
+        let mut data = vec![0u32; 257];
+        for_each_shard_mut(8, &mut data, |start, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (start + off) as u32;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn effective_threads_bounds() {
+        assert_eq!(effective_threads(0), 1);
+        assert!(effective_threads(8) >= 1);
+        assert!(effective_threads(8) <= 8);
+    }
+}

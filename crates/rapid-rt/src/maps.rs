@@ -251,29 +251,71 @@ impl RtPlan {
     ) -> Result<MapPlacement, ExecError> {
         let mut per_proc = Vec::with_capacity(sched.order.len());
         for p in 0..sched.order.len() {
-            let mut planner = MapPlanner::new(p as ProcId, capacity, self.perm_units[p]);
-            let mut rows: Vec<PlannedMap> = Vec::new();
-            let mut pos = 0u32;
-            loop {
-                let a = planner.run_map_with(g, sched, self, pos, window)?;
-                let next = a.next_map;
-                rows.push(PlannedMap {
-                    pos,
-                    frees: a.frees,
-                    allocs: a.allocs,
-                    alloc_pos: a.alloc_pos,
-                    next_map: a.next_map,
-                    notifies: a.notifies,
-                    in_use: planner.in_use(),
-                });
-                pos = next;
-                if pos as usize >= sched.order[p].len() {
-                    break;
-                }
-            }
-            per_proc.push(rows);
+            per_proc.push(self.place_maps_for_proc(g, sched, p as ProcId, capacity, window)?);
         }
         Ok(MapPlacement { capacity, window, per_proc })
+    }
+
+    /// Parallel [`place_maps`]: every processor's MAP walk is independent
+    /// (each [`MapPlanner`] sees only its own order and counting state), so
+    /// processors are sharded across `nthreads` scoped threads. Identical
+    /// placement for every thread count, and on failure the reported error
+    /// is the lowest-processor one — the same error the sequential walk
+    /// hits first (shards cover contiguous ascending processor ranges, and
+    /// each shard stops at its first failing processor).
+    pub fn place_maps_par(
+        &self,
+        g: &TaskGraph,
+        sched: &Schedule,
+        capacity: u64,
+        window: MapWindow,
+        nthreads: usize,
+    ) -> Result<MapPlacement, ExecError> {
+        let nprocs = sched.order.len();
+        let shards = rapid_core::par::map_shards(nthreads.max(1), nprocs, |_i, range| {
+            let mut rows = Vec::with_capacity(range.len());
+            for p in range {
+                rows.push(self.place_maps_for_proc(g, sched, p as ProcId, capacity, window)?);
+            }
+            Ok::<_, ExecError>(rows)
+        });
+        let mut per_proc = Vec::with_capacity(nprocs);
+        for shard in shards {
+            per_proc.extend(shard?);
+        }
+        Ok(MapPlacement { capacity, window, per_proc })
+    }
+
+    /// The complete MAP walk of one processor under `capacity`.
+    fn place_maps_for_proc(
+        &self,
+        g: &TaskGraph,
+        sched: &Schedule,
+        p: ProcId,
+        capacity: u64,
+        window: MapWindow,
+    ) -> Result<Vec<PlannedMap>, ExecError> {
+        let mut planner = MapPlanner::new(p, capacity, self.perm_units[p as usize]);
+        let mut rows: Vec<PlannedMap> = Vec::new();
+        let mut pos = 0u32;
+        loop {
+            let a = planner.run_map_with(g, sched, self, pos, window)?;
+            let next = a.next_map;
+            rows.push(PlannedMap {
+                pos,
+                frees: a.frees,
+                allocs: a.allocs,
+                alloc_pos: a.alloc_pos,
+                next_map: a.next_map,
+                notifies: a.notifies,
+                in_use: planner.in_use(),
+            });
+            pos = next;
+            if pos as usize >= sched.order[p as usize].len() {
+                break;
+            }
+        }
+        Ok(rows)
     }
 
     /// Estimated storage for the dependence structure itself, in
@@ -735,6 +777,44 @@ impl MapPlanner {
 mod tests {
     use super::*;
     use rapid_core::fixtures;
+
+    #[test]
+    fn parallel_placement_is_bit_identical() {
+        use rapid_core::schedule::CostModel;
+        for seed in 0..6u64 {
+            let spec = fixtures::RandomGraphSpec {
+                objects: 20,
+                tasks: 60,
+                max_obj_size: 2,
+                ..Default::default()
+            };
+            let g = fixtures::random_irregular_graph(seed, &spec);
+            let owner = rapid_sched::cyclic_owner_map(g.num_objects(), 3);
+            let assign = rapid_sched::owner_compute_assignment(&g, &owner, 3);
+            let sched = rapid_sched::mpo_order(&g, &assign, &CostModel::unit());
+            let mm = rapid_core::memreq::min_mem(&g, &sched).min_mem;
+            let plan = RtPlan::new(&g, &sched);
+            let seq = plan.place_maps(&g, &sched, mm, MapWindow::Greedy).expect("feasible");
+            for k in [1usize, 2, 3, 8] {
+                let par = plan
+                    .place_maps_par(&g, &sched, mm, MapWindow::Greedy, k)
+                    .expect("feasible in parallel");
+                assert_eq!(par, seq, "seed {seed} nthreads {k}");
+            }
+            // An infeasible capacity must fail identically too.
+            if mm > 1 {
+                let e_seq = plan.place_maps(&g, &sched, mm - 1, MapWindow::Greedy).err();
+                for k in [1usize, 2, 8] {
+                    let e_par = plan.place_maps_par(&g, &sched, mm - 1, MapWindow::Greedy, k).err();
+                    assert_eq!(
+                        format!("{e_par:?}"),
+                        format!("{e_seq:?}"),
+                        "seed {seed} nthreads {k}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn plan_messages_of_figure2() {

@@ -44,9 +44,12 @@ pub fn lpt_cluster_map(cluster_work: &[f64], nprocs: usize) -> Vec<ProcId> {
     let mut load = vec![0.0f64; nprocs];
     let mut map = vec![0 as ProcId; cluster_work.len()];
     for c in idx {
-        let p = (0..nprocs)
-            .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
-            .expect("nprocs > 0");
+        // `min_by` over `0..nprocs` is None only for nprocs == 0, and a
+        // zero-processor machine has no clusters to place either.
+        let Some(p) = (0..nprocs).min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+        else {
+            unreachable!("nprocs > 0")
+        };
         map[c] = p as ProcId;
         load[p] += cluster_work[c];
     }

@@ -15,7 +15,7 @@
 
 use crate::heapsim::{simulate_ordering_heap, HeapPolicy};
 use crate::sim::{simulate_ordering_reference, OrdF64, OrderPolicy, SimCtx};
-use rapid_core::dcg::Dcg;
+use rapid_core::dcg::{Dcg, VolatileScratch};
 use rapid_core::graph::{ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 
@@ -147,27 +147,59 @@ pub fn dts_order_with(
     simulate_ordering_heap(g, assign, cost, &mut policy)
 }
 
-/// The slice-merging algorithm of Figure 6: walk the slices in topological
-/// order and merge consecutive slices while the sum of their `H(R, L_i)`
-/// volatile requirements stays within `avail_volatile` (the memory left
-/// after permanent objects). Returns the merged slice id of every original
-/// slice and the number of merged slices.
-pub fn merge_slices(
+/// [`dts_order_with`] with caller-provided bottom levels (must equal
+/// `algo::bottom_levels(g, cost, Some(assign))`); used by the parallel
+/// planner and the cap-only replanner, which already hold them.
+pub fn dts_order_with_blevel(
     g: &TaskGraph,
     assign: &Assignment,
-    dcg: &Dcg,
-    avail_volatile: u64,
-) -> (Vec<u32>, u32) {
-    let k = dcg.num_slices;
-    let mut merged_of = vec![0u32; k as usize];
+    cost: &CostModel,
+    slice_of_task: &[u32],
+    num_slices: u32,
+    blevel: &[f64],
+) -> Schedule {
+    let mut policy = DtsHeapPolicy { slice_of_task, num_slices };
+    crate::heapsim::simulate_ordering_heap_with(g, assign, cost, &mut policy, blevel)
+}
+
+/// Per-slice `H(R, L_i)` (Definition 7) for every slice, through the
+/// O(1)-membership scratch — linear in the accesses of each slice. This
+/// is the vector the Figure-6 merge walks; the cap-only replanner caches
+/// it to re-merge under a new capacity without touching the DCG.
+pub fn slice_h(g: &TaskGraph, assign: &Assignment, dcg: &Dcg) -> Vec<u64> {
+    let mut scratch = VolatileScratch::new(g.num_objects());
+    (0..dcg.num_slices)
+        .map(|l| dcg.max_volatile_space_scratch(g, assign, l, &mut scratch))
+        .collect()
+}
+
+/// Parallel [`slice_h`]: slices are independent, so shards of the slice
+/// range are evaluated concurrently, each worker with its own scratch.
+/// Identical output for every thread count.
+pub fn slice_h_par(g: &TaskGraph, assign: &Assignment, dcg: &Dcg, nthreads: usize) -> Vec<u64> {
+    let shards = rapid_core::par::map_shards(nthreads, dcg.num_slices as usize, |_i, range| {
+        let mut scratch = VolatileScratch::new(g.num_objects());
+        range
+            .map(|l| dcg.max_volatile_space_scratch(g, assign, l as u32, &mut scratch))
+            .collect::<Vec<u64>>()
+    });
+    shards.concat()
+}
+
+/// The greedy walk of Figure 6 over a precomputed per-slice `H` vector:
+/// merge consecutive slices while the sum of their volatile requirements
+/// stays within `avail_volatile`. Returns the merged slice id of every
+/// original slice and the number of merged slices.
+pub fn merge_slices_from_h(h: &[u64], avail_volatile: u64) -> (Vec<u32>, u32) {
+    let k = h.len();
+    let mut merged_of = vec![0u32; k];
     if k == 0 {
         return (merged_of, 0);
     }
-    let h: Vec<u64> = (0..k).map(|l| dcg.max_volatile_space(g, assign, l)).collect();
     let mut space_req = h[0];
     let mut cur = 0u32;
     merged_of[0] = 0;
-    for i in 1..k as usize {
+    for i in 1..k {
         if space_req + h[i] <= avail_volatile {
             merged_of[i] = cur;
             space_req += h[i];
@@ -180,6 +212,46 @@ pub fn merge_slices(
     (merged_of, cur + 1)
 }
 
+/// The slice-merging algorithm of Figure 6: walk the slices in topological
+/// order and merge consecutive slices while the sum of their `H(R, L_i)`
+/// volatile requirements stays within `avail_volatile` (the memory left
+/// after permanent objects). Returns the merged slice id of every original
+/// slice and the number of merged slices.
+pub fn merge_slices(
+    g: &TaskGraph,
+    assign: &Assignment,
+    dcg: &Dcg,
+    avail_volatile: u64,
+) -> (Vec<u32>, u32) {
+    merge_slices_from_h(&slice_h(g, assign, dcg), avail_volatile)
+}
+
+/// [`merge_slices`] with the pre-PR-7 quadratic `H` evaluation
+/// ([`Dcg::max_volatile_space`], whose per-access membership test scans
+/// the volatile set). Kept — like the straight-scan simulators — as the
+/// differential baseline for `BENCH_scheduling.json` and the equivalence
+/// tests; identical output to [`merge_slices`].
+pub fn merge_slices_reference(
+    g: &TaskGraph,
+    assign: &Assignment,
+    dcg: &Dcg,
+    avail_volatile: u64,
+) -> (Vec<u32>, u32) {
+    let h: Vec<u64> = (0..dcg.num_slices).map(|l| dcg.max_volatile_space(g, assign, l)).collect();
+    merge_slices_from_h(&h, avail_volatile)
+}
+
+/// Volatile budget left under a per-processor `capacity` once permanent
+/// objects are accounted: `capacity - max_p perm(p)` as in Theorem 2.
+pub fn avail_volatile(g: &TaskGraph, assign: &Assignment, capacity: u64) -> u64 {
+    let mut perm = vec![0u64; assign.nprocs];
+    for d in g.objects() {
+        perm[assign.owner_of(d) as usize] += g.obj_size(d);
+    }
+    let max_perm = perm.iter().copied().max().unwrap_or(0);
+    capacity.saturating_sub(max_perm)
+}
+
 /// DTS with slice merging under a per-processor memory `capacity` (in
 /// allocation units, *including* permanent objects — the volatile budget is
 /// `capacity - max_p perm(p)` as in Theorem 2's accounting).
@@ -190,13 +262,27 @@ pub fn dts_order_merged(
     capacity: u64,
 ) -> Schedule {
     let dcg = Dcg::build(g);
-    let mut perm = vec![0u64; assign.nprocs];
-    for d in g.objects() {
-        perm[assign.owner_of(d) as usize] += g.obj_size(d);
-    }
-    let max_perm = perm.iter().copied().max().unwrap_or(0);
-    let avail = capacity.saturating_sub(max_perm);
+    let avail = avail_volatile(g, assign, capacity);
     let (merged_of, nmerged) = merge_slices(g, assign, &dcg, avail);
+    let slice_of_task: Vec<u32> =
+        g.tasks().map(|t| merged_of[dcg.slice_of_task[t.idx()] as usize]).collect();
+    dts_order_with(g, assign, cost, &slice_of_task, nmerged)
+}
+
+/// The pre-PR-7 sequential merged-DTS pipeline, composed entirely of
+/// reference parts (sequential DCG build, quadratic `H`, heapsim with
+/// its internal bottom-level pass). Identical output to
+/// [`dts_order_merged`]; kept as the `BENCH_scheduling.json` baseline
+/// the parallel planner is measured against.
+pub fn dts_order_merged_reference(
+    g: &TaskGraph,
+    assign: &Assignment,
+    cost: &CostModel,
+    capacity: u64,
+) -> Schedule {
+    let dcg = Dcg::build(g);
+    let avail = avail_volatile(g, assign, capacity);
+    let (merged_of, nmerged) = merge_slices_reference(g, assign, &dcg, avail);
     let slice_of_task: Vec<u32> =
         g.tasks().map(|t| merged_of[dcg.slice_of_task[t.idx()] as usize]).collect();
     dts_order_with(g, assign, cost, &slice_of_task, nmerged)

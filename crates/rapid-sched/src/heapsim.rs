@@ -87,10 +87,25 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
     cost: &CostModel,
     policy: &mut P,
 ) -> Schedule {
+    let blevel = algo::bottom_levels(g, cost, Some(assign));
+    simulate_ordering_heap_with(g, assign, cost, policy, &blevel)
+}
+
+/// [`simulate_ordering_heap`] with caller-provided bottom levels, so a
+/// planner that already computed them (or computed them in parallel)
+/// does not pay the O(V + E) pass again. `blevel` must equal
+/// `algo::bottom_levels(g, cost, Some(assign))` for the schedule to
+/// match the reference simulators.
+pub fn simulate_ordering_heap_with<P: HeapPolicy>(
+    g: &TaskGraph,
+    assign: &Assignment,
+    cost: &CostModel,
+    policy: &mut P,
+    blevel: &[f64],
+) -> Schedule {
     let n = g.num_tasks();
     let nprocs = assign.nprocs;
     let nslices = policy.num_slices().max(1) as usize;
-    let blevel = algo::bottom_levels(g, cost, Some(assign));
     let mut arrival = vec![0.0f64; n];
     let mut indeg: Vec<u32> = (0..n).map(|t| g.preds(TaskId(t as u32)).len() as u32).collect();
     let mut scheduled = vec![false; n];
@@ -131,7 +146,7 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
             let p = assign.proc_of(t) as usize;
             let s = policy.slice_of(t);
             if s == lowest[p] {
-                let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
+                let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
                 active[p].push((policy.key(t, &ctx), Reverse(t.0)));
                 if avail[p] == 0 {
                     procs.push(Reverse((OrdF64(clock[p]), p as u32)));
@@ -146,8 +161,11 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
     while done < n {
         // Earliest-idle selectable processor (reference lines 2–3).
         let p = loop {
-            let Reverse((k, p)) =
-                *procs.peek().expect("ordering simulation stalled: no selectable processor");
+            // A task graph is a DAG (builder-enforced), so while tasks
+            // remain some processor is selectable and owns a live entry.
+            let Some(&Reverse((k, p))) = procs.peek() else {
+                unreachable!("ordering simulation stalled: no selectable processor")
+            };
             if avail[p as usize] == 0 || k != OrdF64(clock[p as usize]) {
                 procs.pop();
                 continue;
@@ -156,8 +174,12 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
         };
         // Highest-priority live entry of p's active heap.
         let t = loop {
-            let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
-            let (key, Reverse(t)) = active[p].pop().expect("selectable processor has a task");
+            let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
+            // `avail[p] > 0` was just checked, so the heap holds at least
+            // one live entry for this processor.
+            let Some((key, Reverse(t))) = active[p].pop() else {
+                unreachable!("selectable processor has no active task entry")
+            };
             let t = TaskId(t);
             if scheduled[t.idx()] || key != policy.key(t, &ctx) {
                 continue;
@@ -190,7 +212,7 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
                     break;
                 }
                 parked[p].pop();
-                let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
+                let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
                 active[p].push((policy.key(TaskId(u), &ctx), Reverse(u)));
                 avail[p] += 1;
             }
@@ -200,7 +222,7 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
         // arrivals see the same allocation state as the reference's
         // lazy pick-time evaluation.
         {
-            let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
+            let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
             policy.on_scheduled(t, &ctx, &mut dirty);
         }
         for u in dirty.drain(..) {
@@ -211,7 +233,7 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
             if policy.slice_of(u) == lowest[q] {
                 // Fresh entry with the updated key; the old entry dies by
                 // lazy deletion. Selectability (avail) is unchanged.
-                let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
+                let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
                 active[q].push((policy.key(u, &ctx), Reverse(u.0)));
             }
         }
@@ -229,7 +251,7 @@ pub fn simulate_ordering_heap<P: HeapPolicy>(
                 let q = assign.proc_of(s) as usize;
                 let sl = policy.slice_of(s);
                 if sl == lowest[q] {
-                    let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
+                    let ctx = SimCtx { g, assign, blevel, arrival: &arrival };
                     active[q].push((policy.key(s, &ctx), Reverse(s.0)));
                     if avail[q] == 0 {
                         procs.push(Reverse((OrdF64(clock[q]), q as u32)));

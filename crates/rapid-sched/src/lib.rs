@@ -32,12 +32,18 @@ pub mod dsc;
 pub mod dts;
 pub mod heapsim;
 pub mod mpo;
+pub mod parallel;
 pub mod rcp;
 pub mod sim;
 
 pub use assign::{cyclic_owner_map, lpt_cluster_map, owner_compute_assignment};
 pub use dsc::{dsc_cluster, DscResult};
-pub use dts::{dts_order, dts_order_merged, dts_order_reference, merge_slices};
-pub use mpo::{mpo_order, mpo_order_reference};
+pub use dts::{
+    avail_volatile, dts_order, dts_order_merged, dts_order_merged_reference, dts_order_reference,
+    dts_order_with_blevel, merge_slices, merge_slices_from_h, merge_slices_reference, slice_h,
+    slice_h_par,
+};
+pub use mpo::{mpo_order, mpo_order_reference, mpo_order_with_blevel};
+pub use parallel::{plan_parallel, PlanPolicy};
 pub use rapid_core::schedule::Assignment;
-pub use rcp::{rcp_order, rcp_order_reference};
+pub use rcp::{rcp_order, rcp_order_reference, rcp_order_with_blevel};

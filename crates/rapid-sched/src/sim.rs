@@ -99,14 +99,19 @@ pub fn simulate_ordering_reference<P: OrderPolicy>(
                 best = Some((key, p));
             }
         }
-        let p =
-            best.expect("ordering simulation stalled: no processor has an eligible ready task").1;
+        // A task graph is a DAG (builder-enforced) and slice gates follow
+        // the slice topological order, so some processor can always act.
+        let Some((_, p)) = best else {
+            unreachable!("ordering simulation stalled: no processor has an eligible ready task")
+        };
         // Restrict the policy's view to eligible tasks.
         let ctx = SimCtx { g, assign, blevel: &blevel, arrival: &arrival };
         let eligible: Vec<TaskId> =
             ready[p].iter().copied().filter(|&t| policy.eligible(p as ProcId, t, &ctx)).collect();
         let t = eligible[policy.pick(p as ProcId, &eligible, &ctx)];
-        let pos = ready[p].iter().position(|&x| x == t).expect("picked task is ready");
+        let Some(pos) = ready[p].iter().position(|&x| x == t) else {
+            unreachable!("picked task is not in the ready list")
+        };
         ready[p].swap_remove(pos);
 
         let start = clock[p].max(arrival[t.idx()]);

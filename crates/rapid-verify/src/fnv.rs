@@ -1,0 +1,67 @@
+//! FNV-1a hashing for the verifier's hot maps.
+//!
+//! The address-window map and the consumed-key set hold millions of
+//! small fixed-width `(u32, u32, u32)` keys at 10^6-task scale; the
+//! standard library's SipHash spends more time per key than the lookup
+//! itself. FNV-1a is a two-instruction-per-byte hash with good
+//! dispersion on short keys, and these maps are internal (built and
+//! consumed within one verify call, never fed attacker-controlled
+//! keys), so DoS-resistant hashing buys nothing here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Streaming FNV-1a over the key's byte encoding.
+pub(crate) struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// Zero-sized [`BuildHasher`] producing [`FnvHasher`]s.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FnvBuild;
+
+impl BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+/// `(allocating proc, notified proc, obj) -> notifying window index`.
+pub(crate) type AddrWin = HashMap<(u32, u32, u32), usize, FnvBuild>;
+
+/// Set of address-package keys consumed by at least one send.
+pub(crate) type KeySet = HashSet<(u32, u32, u32), FnvBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        let b = FnvBuild;
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..8u32 {
+            for s in 0..8u32 {
+                for o in 0..64u32 {
+                    assert!(seen.insert(b.hash_one((q, s, o))));
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! the stale-package check rules out separately (DESIGN.md §11).
 
 use crate::finding::{WaitPoint, WaitStep};
+use crate::fnv::AddrWin;
 use rapid_core::schedule::Schedule;
 use rapid_rt::{MapPlacement, RtPlan};
 use std::collections::HashMap;
@@ -33,7 +34,7 @@ pub(crate) fn deadlock_cycle(
     sched: &Schedule,
     plan: &RtPlan,
     placement: &MapPlacement,
-    addr_win: &HashMap<(u32, u32, u32), usize>,
+    addr_win: &AddrWin,
 ) -> Option<Vec<WaitPoint>> {
     let nprocs = sched.order.len();
 
@@ -64,17 +65,11 @@ pub(crate) fn deadlock_cycle(
     }
     let total = kind.len();
 
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); total];
-    let mut edge = |a: usize, b: usize| {
-        succs[a].push(b);
-        preds[b].push(a);
-    };
-
     // Program order: interleave windows (a window at position k precedes
     // the task at position k) and tasks. Corrupted placements may list
     // windows out of order; sort the interleaving keys so the chain stays
     // a chain — the dataflow sweep reports the structural damage.
+    let mut chains: Vec<Vec<usize>> = Vec::with_capacity(nprocs);
     for p in 0..nprocs {
         let mut seq: Vec<(u32, u8, usize)> = Vec::new();
         for (k, w) in placement.per_proc[p].iter().enumerate() {
@@ -84,46 +79,80 @@ pub(crate) fn deadlock_cycle(
             seq.push((j as u32, 1, id));
         }
         seq.sort();
-        for pair in seq.windows(2) {
-            edge(pair[0].2, pair[1].2);
-        }
+        chains.push(seq.into_iter().map(|(_, _, id)| id).collect());
     }
 
-    // Message edges.
-    for m in &plan.msgs {
-        let s = send_base + m.id as usize;
-        // EXE of the source task precedes delivery.
-        let src_pos = plan.pos[m.src_task.idx()] as usize;
-        edge(task_id[m.src_proc as usize][src_pos], s);
-        // Fact I: each carried volatile needs its address package first.
-        for &d in &m.objs {
-            if sched.assign.owner_of(d) == m.dst_proc {
-                continue;
-            }
-            if let Some(&widx) = addr_win.get(&(m.dst_proc, m.src_proc, d.0)) {
-                edge(win_id[m.dst_proc as usize][widx], s);
-            }
-        }
-        // REC: destination tasks wait for the delivery.
-        for &dt in &m.dst_tasks {
-            let dpos = plan.pos[dt.idx()] as usize;
-            edge(s, task_id[m.dst_proc as usize][dpos]);
-        }
-    }
+    // Enumerate every edge, in a fixed order (program-order chains first,
+    // then the message edges): EXE of the source task precedes delivery;
+    // Fact I gives each carried volatile a window→send edge from its
+    // address package; REC makes destination tasks wait for the delivery.
     // DAG edges need no separate modelling: same-processor edges are
     // subsumed by program order (checked by the precedence analysis) and
-    // cross-processor edges by the message edges above.
+    // cross-processor edges by the message edges here.
+    let for_each_edge = |emit: &mut dyn FnMut(usize, usize)| {
+        for chain in &chains {
+            for pair in chain.windows(2) {
+                emit(pair[0], pair[1]);
+            }
+        }
+        for m in &plan.msgs {
+            let s = send_base + m.id as usize;
+            let src_pos = plan.pos[m.src_task.idx()] as usize;
+            emit(task_id[m.src_proc as usize][src_pos], s);
+            for &d in &m.objs {
+                if sched.assign.owner_of(d) == m.dst_proc {
+                    continue;
+                }
+                if let Some(&widx) = addr_win.get(&(m.dst_proc, m.src_proc, d.0)) {
+                    emit(win_id[m.dst_proc as usize][widx], s);
+                }
+            }
+            for &dt in &m.dst_tasks {
+                let dpos = plan.pos[dt.idx()] as usize;
+                emit(s, task_id[m.dst_proc as usize][dpos]);
+            }
+        }
+    };
+
+    // CSR adjacency in two passes (count, then fill): at 10^6 tasks the
+    // graph has millions of nodes and edges, and per-node Vec growth
+    // dominated the whole verifier. Filling in enumeration order keeps
+    // each node's predecessor list in the same order a Vec-of-Vecs build
+    // would produce, so the extracted cycle is identical.
+    let mut succ_off = vec![0u32; total + 1];
+    let mut pred_off = vec![0u32; total + 1];
+    for_each_edge(&mut |a, b| {
+        succ_off[a + 1] += 1;
+        pred_off[b + 1] += 1;
+    });
+    for v in 0..total {
+        succ_off[v + 1] += succ_off[v];
+        pred_off[v + 1] += pred_off[v];
+    }
+    let nedges = succ_off[total] as usize;
+    let mut succ = vec![0u32; nedges];
+    let mut pred = vec![0u32; nedges];
+    let mut succ_fill = succ_off.clone();
+    let mut pred_fill = pred_off.clone();
+    for_each_edge(&mut |a, b| {
+        succ[succ_fill[a] as usize] = b as u32;
+        succ_fill[a] += 1;
+        pred[pred_fill[b] as usize] = a as u32;
+        pred_fill[b] += 1;
+    });
+    let succs_of = |v: usize| &succ[succ_off[v] as usize..succ_off[v + 1] as usize];
+    let preds_of = |v: usize| &pred[pred_off[v] as usize..pred_off[v + 1] as usize];
 
     // Kahn's algorithm; any residue contains a cycle.
-    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut indeg: Vec<u32> = (0..total).map(|v| pred_off[v + 1] - pred_off[v]).collect();
     let mut queue: Vec<usize> = (0..total).filter(|&v| indeg[v] == 0).collect();
     let mut done = 0usize;
     while let Some(v) = queue.pop() {
         done += 1;
-        for &w in &succs[v] {
-            indeg[w] -= 1;
-            if indeg[w] == 0 {
-                queue.push(w);
+        for &w in succs_of(v) {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push(w as usize);
             }
         }
     }
@@ -139,7 +168,8 @@ pub(crate) fn deadlock_cycle(
     seen.insert(start, 0);
     let mut cur = start;
     loop {
-        let &next = preds[cur].iter().find(|&&u| indeg[u] > 0)?;
+        let &next = preds_of(cur).iter().find(|&&u| indeg[u as usize] > 0)?;
+        let next = next as usize;
         if let Some(&at) = seen.get(&next) {
             // path[at..] walked predecessors; reverse for wait order
             // ("A waits on B waits on ... waits on A").

@@ -51,8 +51,11 @@
 
 mod dataflow;
 mod finding;
+mod fnv;
 mod hb;
+mod replan;
 mod verify;
 
 pub use finding::{Finding, WaitPoint, WaitStep};
-pub use verify::{verify, verify_capacity, VerifyReport};
+pub use replan::{plan_hash, Planned, Replanner};
+pub use verify::{verify, verify_capacity, verify_par, verify_placement, VerifyReport};

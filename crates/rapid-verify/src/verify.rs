@@ -4,12 +4,13 @@
 
 use crate::dataflow;
 use crate::finding::Finding;
+use crate::fnv::{AddrWin, KeySet};
 use crate::hb;
 use rapid_core::graph::{TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
 use rapid_machine::mailbox::{AddrEntry, AddrSlot};
 use rapid_rt::{MapPlacement, MapWindow, RtPlan};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Result of a verification run.
 #[derive(Clone, Debug)]
@@ -48,28 +49,142 @@ pub fn verify(
     plan: &RtPlan,
     placement: &MapPlacement,
 ) -> VerifyReport {
+    verify_sharded(g, sched, plan, placement, 1)
+}
+
+/// Parallel [`verify`]: the five analyses shard cleanly — dataflow,
+/// batch equivalence and precedence per processor, address coverage per
+/// message range — and every shard's findings are concatenated in shard
+/// order, so the report (findings, order included) is **identical** to
+/// the sequential verifier for any `nthreads >= 1`. Only the single
+/// global deadlock-cycle search stays sequential.
+pub fn verify_par(
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    placement: &MapPlacement,
+    nthreads: usize,
+) -> VerifyReport {
+    verify_sharded(g, sched, plan, placement, nthreads.max(1))
+}
+
+/// Capacity-affected subset of the analyses, for the cap-only
+/// replanner: the order and the protocol plan are carried over from an
+/// already-accepted cold plan, and only the MAP placement was rebuilt
+/// for the new capacity. Re-runs the phases whose *verdict* a capacity
+/// change can flip — the per-processor dataflow replay (free-safety,
+/// allocation sanity, occupancy accounting, window-over-cap), Fact-I
+/// address coverage and stale packages, and the static peaks.
+///
+/// Deliberately skipped, because the cold report already proved them
+/// and a planner-fresh placement cannot un-prove them:
+///
+/// - **structure, precedence** read only `(g, sched)`, unchanged here;
+/// - the **deadlock search** vets foreign or corrupted placements; a
+///   placement the greedy planner just produced orders every window
+///   before the sends that need it by construction, and the coverage
+///   check above re-proves Fact I (the replan test suite cross-checks
+///   every fast-path placement against the full verifier);
+/// - **batch equivalence** exercises the mailbox wire codec, a pure
+///   function of window contents proven by the cold report and the
+///   codec property tests — a capacity change regroups batches but
+///   cannot alter how the codec round-trips them.
+///
+/// [`Replanner::replan_capacity`](crate::Replanner::replan_capacity)
+/// relies on exactly this contract; anything that changes the graph or
+/// the schedule must go through [`verify`] / [`verify_par`].
+pub fn verify_placement(
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    placement: &MapPlacement,
+    nthreads: usize,
+) -> VerifyReport {
+    let nthreads = nthreads.max(1);
+    let capacity = placement.capacity;
+    let mut findings = dataflow_findings(g, sched, plan, placement, nthreads);
+    let addr_win = build_addr_win(placement);
+    let (addr_findings, consumed) = address_findings(sched, plan, &addr_win, nthreads);
+    findings.extend(addr_findings);
+    findings.extend(stale_findings(&addr_win, &consumed));
+    let peak = placement.peaks(&plan.perm_units);
+    VerifyReport { findings, peak, capacity }
+}
+
+fn verify_sharded(
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    placement: &MapPlacement,
+    nthreads: usize,
+) -> VerifyReport {
     let mut findings = Vec::new();
     let capacity = placement.capacity;
     let structural_ok = check_structure(g, sched, placement, &mut findings);
 
     // Per-processor dataflow sweeps (free-safety, allocation sanity,
     // occupancy accounting, capacity).
-    for p in 0..sched.order.len().min(placement.per_proc.len()) {
-        dataflow::sweep_proc(
-            g,
-            sched,
-            &plan.lv.procs[p],
-            p,
-            &placement.per_proc[p],
-            capacity,
-            plan.perm_units[p],
-            &mut findings,
-        );
+    findings.extend(dataflow_findings(g, sched, plan, placement, nthreads));
+
+    // Address-package coverage (Fact I) and stale packages.
+    let addr_win = build_addr_win(placement);
+    let (addr_findings, consumed) = address_findings(sched, plan, &addr_win, nthreads);
+    findings.extend(addr_findings);
+    findings.extend(stale_findings(&addr_win, &consumed));
+
+    // Aggregation safety: coalescing the plan's address packages into
+    // batched hand-offs must be invisible. The wire-format round trip
+    // has to reproduce the per-window package sequence exactly, and the
+    // expansion must cover exactly the key set the coverage analysis
+    // above was run on.
+    findings.extend(batch_findings(placement, &addr_win, nthreads));
+
+    // Precedence and deadlock need trustworthy task positions.
+    if structural_ok {
+        findings.extend(precedence_findings(g, sched, nthreads));
+        if let Some(cycle) = hb::deadlock_cycle(sched, plan, placement, &addr_win) {
+            findings.push(Finding::Deadlock { cycle });
+        }
     }
 
-    // Address-package coverage (Fact I) and stale packages. `addr_win`
-    // maps (allocating proc, notified proc, obj) to the notifying window.
-    let mut addr_win: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let peak = placement.peaks(&plan.perm_units);
+    VerifyReport { findings, peak, capacity }
+}
+
+/// Per-processor dataflow sweeps, sharded over processors; shard-order
+/// concatenation reproduces the sequential per-processor append order.
+fn dataflow_findings(
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    placement: &MapPlacement,
+    nthreads: usize,
+) -> Vec<Finding> {
+    let capacity = placement.capacity;
+    let n = sched.order.len().min(placement.per_proc.len());
+    let shards = rapid_core::par::map_shards(nthreads, n, |_i, range| {
+        let mut out = Vec::new();
+        for p in range {
+            dataflow::sweep_proc(
+                g,
+                sched,
+                &plan.lv.procs[p],
+                p,
+                &placement.per_proc[p],
+                capacity,
+                plan.perm_units[p],
+                &mut out,
+            );
+        }
+        out
+    });
+    shards.concat()
+}
+
+/// `addr_win` maps (allocating proc, notified proc, obj) to the first
+/// notifying window of the allocating processor.
+fn build_addr_win(placement: &MapPlacement) -> AddrWin {
+    let mut addr_win = AddrWin::default();
     for (q, wins) in placement.per_proc.iter().enumerate() {
         for (widx, w) in wins.iter().enumerate() {
             for n in &w.notifies {
@@ -77,46 +192,68 @@ pub fn verify(
             }
         }
     }
-    let mut consumed: HashSet<(u32, u32, u32)> = HashSet::new();
-    for m in &plan.msgs {
-        for &d in &m.objs {
-            if sched.assign.owner_of(d) == m.dst_proc {
-                continue; // written in place on its owner, no package needed
-            }
-            consumed.insert((m.dst_proc, m.src_proc, d.0));
-            if !addr_win.contains_key(&(m.dst_proc, m.src_proc, d.0)) {
-                findings.push(Finding::MissingAddress {
-                    src: m.src_proc,
-                    dst: m.dst_proc,
-                    msg: m.id,
-                    obj: d.0,
-                });
+    addr_win
+}
+
+/// Fact-I coverage, sharded over message-id ranges: each shard reports
+/// its [`Finding::MissingAddress`]es in message order and the keys it
+/// consumed; concatenating findings in shard order reproduces the
+/// sequential message-order sweep, and the consumed sets union.
+fn address_findings(
+    sched: &Schedule,
+    plan: &RtPlan,
+    addr_win: &AddrWin,
+    nthreads: usize,
+) -> (Vec<Finding>, KeySet) {
+    let shards = rapid_core::par::map_shards(nthreads, plan.msgs.len(), |_i, range| {
+        let mut out = Vec::new();
+        let mut consumed = KeySet::default();
+        for m in &plan.msgs[range] {
+            for &d in &m.objs {
+                if sched.assign.owner_of(d) == m.dst_proc {
+                    continue; // written in place on its owner, no package needed
+                }
+                consumed.insert((m.dst_proc, m.src_proc, d.0));
+                if !addr_win.contains_key(&(m.dst_proc, m.src_proc, d.0)) {
+                    out.push(Finding::MissingAddress {
+                        src: m.src_proc,
+                        dst: m.dst_proc,
+                        msg: m.id,
+                        obj: d.0,
+                    });
+                }
             }
         }
+        (out, consumed)
+    });
+    let mut findings = Vec::new();
+    let mut consumed = KeySet::default();
+    for (out, c) in shards {
+        findings.extend(out);
+        consumed.extend(c);
     }
+    (findings, consumed)
+}
+
+/// Packages no send ever consumes, in sorted key order.
+fn stale_findings(addr_win: &AddrWin, consumed: &KeySet) -> Vec<Finding> {
     let mut stale: Vec<(u32, u32, u32)> =
         addr_win.keys().filter(|k| !consumed.contains(k)).copied().collect();
     stale.sort_unstable();
-    for (q, s, obj) in stale {
-        findings.push(Finding::StalePackage { src: q, dst: s, obj });
-    }
+    stale.into_iter().map(|(q, s, obj)| Finding::StalePackage { src: q, dst: s, obj }).collect()
+}
 
-    // Aggregation safety: coalescing the plan's address packages into
-    // batched hand-offs must be invisible. The wire-format round trip
-    // has to reproduce the per-window package sequence exactly, and the
-    // expansion must cover exactly the key set the coverage analysis
-    // above was run on.
-    check_batch_equivalence(placement, &addr_win, &mut findings);
-
-    // Precedence and deadlock need trustworthy task positions.
-    if structural_ok {
-        let pos = sched.positions();
-        for (p, ord) in sched.order.iter().enumerate() {
-            for (j, &t) in ord.iter().enumerate() {
+/// Precedence check, sharded over processors.
+fn precedence_findings(g: &TaskGraph, sched: &Schedule, nthreads: usize) -> Vec<Finding> {
+    let pos = sched.positions();
+    let shards = rapid_core::par::map_shards(nthreads, sched.order.len(), |_i, range| {
+        let mut out = Vec::new();
+        for p in range {
+            for (j, &t) in sched.order[p].iter().enumerate() {
                 for &q in g.preds(t) {
                     let q = TaskId(q);
                     if sched.assign.proc_of(q) == p as u32 && pos[q.idx()] > j as u32 {
-                        findings.push(Finding::PrecedenceViolation {
+                        out.push(Finding::PrecedenceViolation {
                             proc: p as u32,
                             task: t.0,
                             pred: q.0,
@@ -126,13 +263,9 @@ pub fn verify(
                 }
             }
         }
-        if let Some(cycle) = hb::deadlock_cycle(sched, plan, placement, &addr_win) {
-            findings.push(Finding::Deadlock { cycle });
-        }
-    }
-
-    let peak = placement.peaks(&plan.perm_units);
-    VerifyReport { findings, peak, capacity }
+        out
+    });
+    shards.concat()
 }
 
 /// Convenience entry point: build the protocol plan and the greedy MAP
@@ -176,50 +309,62 @@ pub fn verify_capacity(g: &TaskGraph, sched: &Schedule, capacity: u64) -> Verify
 /// into a single aggregation batch, push it through the real mailbox
 /// wire format, and prove the expansion reproduces the unbatched
 /// package sequence exactly and covers exactly the `addr_win` key set.
-fn check_batch_equivalence(
-    placement: &MapPlacement,
-    addr_win: &HashMap<(u32, u32, u32), usize>,
+/// Sharded over notifying processors.
+fn batch_findings(placement: &MapPlacement, addr_win: &AddrWin, nthreads: usize) -> Vec<Finding> {
+    let shards = rapid_core::par::map_shards(nthreads, placement.per_proc.len(), |_i, range| {
+        let mut findings = Vec::new();
+        for q in range {
+            check_batch_proc(q, &placement.per_proc[q], addr_win, &mut findings);
+        }
+        findings
+    });
+    shards.concat()
+}
+
+/// Batch equivalence for one notifying processor `q`.
+fn check_batch_proc(
+    q: usize,
+    wins: &[rapid_rt::PlannedMap],
+    addr_win: &AddrWin,
     findings: &mut Vec<Finding>,
 ) {
-    for (q, wins) in placement.per_proc.iter().enumerate() {
-        // Logical package sequence per destination, in window order.
-        let mut logical: BTreeMap<u32, Vec<Vec<AddrEntry>>> = BTreeMap::new();
-        for (widx, w) in wins.iter().enumerate() {
-            let mut i = 0;
-            while i < w.notifies.len() {
-                let dst = w.notifies[i].dst;
-                let mut pkg = Vec::new();
-                while i < w.notifies.len() && w.notifies[i].dst == dst {
-                    // The real offset is a runtime arena value; the
-                    // window index stands in so payload corruption in
-                    // the round trip is visible.
-                    pkg.push(AddrEntry { obj: w.notifies[i].obj, offset: widx as u64 });
-                    i += 1;
-                }
-                logical.entry(dst).or_default().push(pkg);
+    // Logical package sequence per destination, in window order.
+    let mut logical: BTreeMap<u32, Vec<Vec<AddrEntry>>> = BTreeMap::new();
+    for (widx, w) in wins.iter().enumerate() {
+        let mut i = 0;
+        while i < w.notifies.len() {
+            let dst = w.notifies[i].dst;
+            let mut pkg = Vec::new();
+            while i < w.notifies.len() && w.notifies[i].dst == dst {
+                // The real offset is a runtime arena value; the
+                // window index stands in so payload corruption in
+                // the round trip is visible.
+                pkg.push(AddrEntry { obj: w.notifies[i].obj, offset: widx as u64 });
+                i += 1;
             }
+            logical.entry(dst).or_default().push(pkg);
         }
-        for (&dst, pkgs) in &logical {
-            if let Err(detail) = batch_roundtrip(pkgs) {
-                findings.push(Finding::BatchDivergence { src: q as u32, dst, detail });
-            }
-            let covered: HashSet<u32> = pkgs.iter().flatten().map(|e| e.obj).collect();
-            let expected: HashSet<u32> = addr_win
-                .keys()
-                .filter(|&&(a, b, _)| a == q as u32 && b == dst)
-                .map(|&(_, _, o)| o)
-                .collect();
-            if covered != expected {
-                let mut missing: Vec<u32> = expected.difference(&covered).copied().collect();
-                let mut extra: Vec<u32> = covered.difference(&expected).copied().collect();
-                missing.sort_unstable();
-                extra.sort_unstable();
-                findings.push(Finding::BatchDivergence {
-                    src: q as u32,
-                    dst,
-                    detail: format!("coverage drift: missing {missing:?}, extra {extra:?}"),
-                });
-            }
+    }
+    for (&dst, pkgs) in &logical {
+        if let Err(detail) = batch_roundtrip(pkgs) {
+            findings.push(Finding::BatchDivergence { src: q as u32, dst, detail });
+        }
+        let covered: HashSet<u32> = pkgs.iter().flatten().map(|e| e.obj).collect();
+        let expected: HashSet<u32> = addr_win
+            .keys()
+            .filter(|&&(a, b, _)| a == q as u32 && b == dst)
+            .map(|&(_, _, o)| o)
+            .collect();
+        if covered != expected {
+            let mut missing: Vec<u32> = expected.difference(&covered).copied().collect();
+            let mut extra: Vec<u32> = covered.difference(&expected).copied().collect();
+            missing.sort_unstable();
+            extra.sort_unstable();
+            findings.push(Finding::BatchDivergence {
+                src: q as u32,
+                dst,
+                detail: format!("coverage drift: missing {missing:?}, extra {extra:?}"),
+            });
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Parallel-verifier differential suite: [`rapid_verify::verify_par`]
+//! must produce the **identical** report — same findings, same order,
+//! same peaks — as the sequential [`rapid_verify::verify`] at every
+//! thread count, on accepted plans and on every corruption class of the
+//! negative corpus (`tests/negative.rs`).
+
+use rapid_core::fixtures::{random_irregular_graph, RandomGraphSpec};
+use rapid_core::graph::{TaskGraph, TaskGraphBuilder};
+use rapid_core::memreq::min_mem;
+use rapid_core::schedule::{Assignment, CostModel, Schedule};
+use rapid_rt::{MapPlacement, MapWindow, RtPlan};
+use rapid_sched::{cyclic_owner_map, mpo_order, owner_compute_assignment};
+use rapid_verify::{verify, verify_par};
+
+fn tight_random_plan(seed: u64) -> (TaskGraph, Schedule, u64) {
+    let spec = RandomGraphSpec { objects: 20, tasks: 60, max_obj_size: 2, ..Default::default() };
+    let g = random_irregular_graph(seed, &spec);
+    let owner = cyclic_owner_map(g.num_objects(), 3);
+    let assign = owner_compute_assignment(&g, &owner, 3);
+    let sched = mpo_order(&g, &assign, &CostModel::unit());
+    let mm = min_mem(&g, &sched).min_mem;
+    (g, sched, mm)
+}
+
+fn placed(g: &TaskGraph, sched: &Schedule, cap: u64) -> (RtPlan, MapPlacement) {
+    let plan = RtPlan::new(g, sched);
+    let placement = plan.place_maps(g, sched, cap, MapWindow::Greedy).expect("feasible at cap");
+    (plan, placement)
+}
+
+/// The differential oracle: sequential and parallel reports must agree
+/// exactly — findings (order included) and peaks — for 1, 2, 3 and 8
+/// threads. Sharding is keyed to the requested thread count, so the
+/// multi-shard merges run even on a single-CPU host.
+fn assert_par_matches(
+    name: &str,
+    g: &TaskGraph,
+    sched: &Schedule,
+    plan: &RtPlan,
+    pl: &MapPlacement,
+) {
+    let seq = verify(g, sched, plan, pl);
+    for k in [1usize, 2, 3, 8] {
+        let par = verify_par(g, sched, plan, pl, k);
+        assert_eq!(par.findings, seq.findings, "{name}: findings diverge at {k} threads");
+        assert_eq!(par.peak, seq.peak, "{name}: peaks diverge at {k} threads");
+        assert_eq!(par.capacity, seq.capacity, "{name}: capacity diverges at {k} threads");
+    }
+}
+
+#[test]
+fn accepted_plans_match() {
+    for seed in 0..6u64 {
+        let (g, sched, mm) = tight_random_plan(seed);
+        let (plan, placement) = placed(&g, &sched, mm);
+        assert_par_matches(&format!("seed {seed}"), &g, &sched, &plan, &placement);
+    }
+}
+
+#[test]
+fn precedence_corruption_matches() {
+    let (g, mut sched, mm) = tight_random_plan(2);
+    'outer: for ord in sched.order.iter_mut() {
+        for j in 0..ord.len().saturating_sub(1) {
+            if g.preds(ord[j + 1]).contains(&ord[j].0) {
+                ord.swap(j, j + 1);
+                break 'outer;
+            }
+        }
+    }
+    let plan = RtPlan::new(&g, &sched);
+    if let Ok(placement) = plan.place_maps(&g, &sched, mm + 16, MapWindow::Greedy) {
+        assert_par_matches("precedence swap", &g, &sched, &plan, &placement);
+    }
+}
+
+#[test]
+fn deadlock_corruption_matches() {
+    let mut b = TaskGraphBuilder::new();
+    let ta = b.add_task(1.0, &[], &[]);
+    let tb = b.add_task(1.0, &[], &[]);
+    let tc = b.add_task(1.0, &[], &[]);
+    let td = b.add_task(1.0, &[], &[]);
+    b.add_edge(ta, tb);
+    b.add_edge(tc, td);
+    let g = b.build().expect("acyclic");
+    let assign = Assignment { task_proc: vec![0, 1, 1, 0], owner: vec![], nprocs: 2 };
+    let sched = Schedule { assign, order: vec![vec![td, ta], vec![tb, tc]] };
+    let (plan, placement) = placed(&g, &sched, 8);
+    assert_par_matches("cross-proc inversion", &g, &sched, &plan, &placement);
+}
+
+#[test]
+fn dropped_package_corruption_matches() {
+    let (g, sched, mm) = tight_random_plan(3);
+    let (plan, mut placement) = placed(&g, &sched, mm);
+    'outer: for wins in placement.per_proc.iter_mut() {
+        for w in wins.iter_mut() {
+            if !w.notifies.is_empty() {
+                w.notifies.clear();
+                break 'outer;
+            }
+        }
+    }
+    assert_par_matches("dropped package", &g, &sched, &plan, &placement);
+}
+
+#[test]
+fn early_free_corruption_matches() {
+    for seed in 0..20u64 {
+        let (g, sched, mm) = tight_random_plan(seed);
+        let (plan, mut placement) = placed(&g, &sched, mm);
+        let mut hit = false;
+        'outer: for (p, wins) in placement.per_proc.iter_mut().enumerate() {
+            let pl = &plan.lv.procs[p];
+            for wi in 0..wins.len().saturating_sub(1) {
+                for k in 0..wins[wi].allocs.len() {
+                    let d = wins[wi].allocs[k];
+                    let next_pos = wins[wi + 1].pos;
+                    let alive = pl
+                        .volatile
+                        .binary_search(&d)
+                        .ok()
+                        .is_some_and(|i| pl.volatile_span[i].1 >= next_pos);
+                    if alive && !wins[wi + 1].frees.contains(&d) {
+                        wins[wi + 1].frees.push(d);
+                        hit = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !hit {
+            continue;
+        }
+        assert_par_matches(&format!("early free seed {seed}"), &g, &sched, &plan, &placement);
+        return;
+    }
+    panic!("no seed produced a window-crossing volatile to corrupt");
+}
+
+#[test]
+fn shrunk_capacity_corruption_matches() {
+    let (g, sched, mm) = tight_random_plan(4);
+    let (plan, mut placement) = placed(&g, &sched, mm);
+    placement.capacity -= 1;
+    assert_par_matches("shrunk capacity", &g, &sched, &plan, &placement);
+}
+
+#[test]
+fn double_alloc_corruption_matches() {
+    let (g, sched, mm) = tight_random_plan(5);
+    let (plan, mut placement) = placed(&g, &sched, mm);
+    'outer: for wins in placement.per_proc.iter_mut() {
+        for wi in 1..wins.len() {
+            if let Some(&d) = wins[wi - 1].allocs.first() {
+                let pos = wins[wi].pos;
+                wins[wi].allocs.push(d);
+                wins[wi].alloc_pos.push(pos);
+                break 'outer;
+            }
+        }
+    }
+    assert_par_matches("double alloc", &g, &sched, &plan, &placement);
+}
+
+#[test]
+fn stale_package_corruption_matches() {
+    let (g, sched, mm) = tight_random_plan(6);
+    let (plan, mut placement) = placed(&g, &sched, mm);
+    'outer: for (q, wins) in placement.per_proc.iter_mut().enumerate() {
+        let notified: Vec<(u32, u32)> =
+            wins.iter().flat_map(|w| w.notifies.iter().map(|n| (n.dst, n.obj))).collect();
+        for w in wins.iter_mut() {
+            if let Some(n) = w.notifies.first().copied() {
+                let stranger =
+                    (0..3u32).find(|&s| s != q as u32 && !notified.contains(&(s, n.obj)));
+                if let Some(s) = stranger {
+                    w.notifies.push(rapid_rt::maps::Notify { dst: s, ..n });
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_par_matches("stale package", &g, &sched, &plan, &placement);
+}
+
+#[test]
+fn duplicated_task_corruption_matches() {
+    let (g, mut sched, mm) = tight_random_plan(7);
+    let t = sched.order[0][0];
+    sched.order[0].push(t);
+    let plan = RtPlan::new(&g, &sched);
+    let placement =
+        plan.place_maps(&g, &sched, mm + 64, MapWindow::Greedy).expect("still placeable");
+    assert_par_matches("duplicated task", &g, &sched, &plan, &placement);
+}
