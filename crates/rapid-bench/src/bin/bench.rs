@@ -11,8 +11,9 @@
 //!
 //! Flags:
 //!
-//! - `--only <executor|executor-native|kernels|scheduling|trace>` — run
-//!   a single section (repeatable);
+//! - `--only <executor|executor-native|recovery|kernels|scheduling|trace>`
+//!   — run a single section (repeatable; `executor` and `recovery` share
+//!   `BENCH_executor.json`);
 //! - `--check` — shape-invariant CI mode: shrunken problem sizes, no
 //!   perf assertions and no files written; exits non-zero if any section
 //!   produces an empty, non-finite or duplicated measurement. Also runs
@@ -131,6 +132,80 @@ fn executor_report() -> Vec<Entry> {
         });
     }
 
+    out
+}
+
+/// The recovery section (appended to `BENCH_executor.json`): the cost of
+/// *arming* window-granular recovery on a fault-free run — per-window
+/// checkpoint capture plus the per-message sent guard — against the
+/// unarmed baseline, and, for the record, a healed run under the mixed
+/// fault scenario. In `--check` mode the armed-clean configuration must
+/// stay within a loose ratio of the unarmed one (the "zero cost when
+/// disabled, near-zero when armed but idle" claim) and both must agree
+/// bitwise.
+fn recovery_report(check: bool) -> Vec<Entry> {
+    use rapid_machine::FaultPlan;
+    use rapid_rt::recover::RecoveryPolicy;
+
+    let mut out = Vec::new();
+    let spec = RandomGraphSpec { objects: 48, tasks: 160, ..Default::default() };
+    let g = random_irregular_graph(11, &spec);
+    let owner = rapid_sched::assign::cyclic_owner_map(g.num_objects(), 4);
+    let assign = rapid_sched::assign::owner_compute_assignment(&g, &owner, 4);
+    let sched = rapid_sched::mpo::mpo_order(&g, &assign, &CostModel::unit());
+    let cap = min_mem(&g, &sched).min_mem + 8;
+
+    let plain_exec = ThreadedExecutor::new(&g, &sched, cap);
+    let armed_exec = ThreadedExecutor::new(&g, &sched, cap).with_recovery(RecoveryPolicy::new());
+    let faulted_exec = ThreadedExecutor::new(&g, &sched, cap)
+        .with_faults(FaultPlan::mixed(11))
+        .with_recovery(RecoveryPolicy::new());
+    // Interleaved min-of-3, as in the native section: OS scheduling noise
+    // dominates on oversubscribed runners and must not read as overhead.
+    let (mut plain, mut armed, mut faulted) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        plain = plain.min(bench_ns(&mut || {
+            let _ = plain_exec.run(body);
+        }));
+        armed = armed.min(bench_ns(&mut || {
+            let _ = armed_exec.run(body);
+        }));
+        faulted = faulted.min(bench_ns(&mut || {
+            let _ = faulted_exec.run(body);
+        }));
+    }
+    let overhead = armed / plain;
+    println!(
+        "recovery/random-irregular-t160-p4: unarmed {} armed-clean {} (overhead {overhead:.2}x) armed-mixed-faults {}",
+        fmt_ns(plain),
+        fmt_ns(armed),
+        fmt_ns(faulted)
+    );
+    out.push(Entry {
+        name: "recovery/random-irregular-t160-p4/unarmed".into(),
+        ns: plain,
+        extra: vec![("capacity".into(), cap.to_string())],
+    });
+    out.push(Entry {
+        name: "recovery/random-irregular-t160-p4/armed-clean".into(),
+        ns: armed,
+        extra: vec![("overhead_vs_unarmed".into(), format!("{overhead:.3}"))],
+    });
+    out.push(Entry {
+        name: "recovery/random-irregular-t160-p4/armed-mixed-faults".into(),
+        ns: faulted,
+        extra: vec![("scenario".into(), "\"mixed\"".into()), ("fault_seed".into(), "11".into())],
+    });
+    if check {
+        let p = plain_exec.run(body).expect("unarmed fixture run");
+        let a = armed_exec.run(body).expect("armed fixture run");
+        assert_eq!(p.objects, a.objects, "check: arming recovery changed clean-run results");
+        assert!(
+            overhead <= 1.30,
+            "check: armed-but-idle recovery regressed the clean path: \
+             {armed:.0} ns vs {plain:.0} ns unarmed"
+        );
+    }
     out
 }
 
@@ -755,17 +830,18 @@ fn main() {
             "--only" => {
                 let v = args.next().unwrap_or_else(|| {
                     eprintln!(
-                        "--only needs a section: executor|executor-native|kernels|scheduling|trace"
+                        "--only needs a section: \
+                         executor|executor-native|recovery|kernels|scheduling|trace"
                     );
                     std::process::exit(2);
                 });
                 match v.as_str() {
-                    "executor" | "executor-native" | "kernels" | "scheduling" | "trace" => {
-                        only.push(v)
-                    }
+                    "executor" | "executor-native" | "recovery" | "kernels" | "scheduling"
+                    | "trace" => only.push(v),
                     _ => {
                         eprintln!(
-                            "unknown section {v:?}: executor|executor-native|kernels|scheduling|trace"
+                            "unknown section {v:?}: \
+                             executor|executor-native|recovery|kernels|scheduling|trace"
                         );
                         std::process::exit(2);
                     }
@@ -779,8 +855,8 @@ fn main() {
             }
             _ => {
                 eprintln!(
-                    "usage: bench [--check] [--only executor|executor-native|kernels|scheduling\
-                     |trace]... [--trace out.json]"
+                    "usage: bench [--check] [--only executor|executor-native|recovery|kernels\
+                     |scheduling|trace]... [--trace out.json]"
                 );
                 std::process::exit(2);
             }
@@ -799,9 +875,16 @@ fn main() {
         verify_fixture_plans();
     }
     let mut written = Vec::new();
-    if wants("executor") {
-        println!("== executor ==");
-        let exec = executor_report();
+    if wants("executor") || wants("recovery") {
+        let mut exec = Vec::new();
+        if wants("executor") {
+            println!("== executor ==");
+            exec.extend(executor_report());
+        }
+        if wants("recovery") {
+            println!("== recovery ==");
+            exec.extend(recovery_report(check));
+        }
         if check {
             check_entries("executor", &exec);
         } else {

@@ -5,8 +5,11 @@
 //! a panic there poisons mutexes and turns a recoverable fault into a
 //! deadlock), and of `rapid-sched` and `rapid-verify` (the planning
 //! front-end now fans work out over scoped threads, where a panic tears
-//! down every sibling worker mid-plan). CI runs this binary and fails
-//! on any offender.
+//! down every sibling worker mid-plan), and of `rapid-trace` and
+//! `rapid-sparse` (the checker and the task generators both run inside
+//! recovery paths — a diagnostic layer that panics defeats the
+//! self-healing contract it is supposed to audit). CI runs this binary
+//! and fails on any offender.
 //!
 //! Scope rules: scanning stops at the first `#[cfg(test)]` line of each
 //! file (repo convention keeps test modules last), `//` comment lines
@@ -21,6 +24,8 @@ const ROOTS: &[&str] = &[
     concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-machine/src"),
     concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-sched/src"),
     concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-verify/src"),
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-trace/src"),
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../rapid-sparse/src"),
 ];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {

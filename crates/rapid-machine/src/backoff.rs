@@ -131,6 +131,58 @@ impl Retry {
     }
 }
 
+/// Per-site retry budgets for the executor's recovery ladder: how many
+/// times each class of transient failure may be retried (with tiered
+/// [`Backoff`] between attempts, via [`Retry`]) before it escalates to
+/// the next rung — window rollback, and ultimately a typed
+/// `Unrecoverable` error naming the exhausted budget.
+///
+/// The budgets are deliberately plain data: the executor consults them
+/// at the matching injection/failure sites, so a given `(fault seed,
+/// scenario, plan)` triple always exhausts a budget at the same draw,
+/// which is what makes recovery decisions reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per MAP-time volatile allocation before the window is
+    /// truncated or rolled back (the innermost rung).
+    pub alloc_attempts: u32,
+    /// Attempts per mailbox hand-off treated as rejected before the
+    /// send suspends into the CQ path.
+    pub mailbox_attempts: u32,
+    /// Re-executions per window (rollback + replay) before the run
+    /// fails with `Unrecoverable`.
+    pub window_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Default budgets: generous enough that every budgeted fault
+    /// scenario drains its injection budget before the ladder gives up.
+    pub const fn new() -> Self {
+        RetryPolicy { alloc_attempts: 8, mailbox_attempts: 8, window_attempts: 24 }
+    }
+
+    /// A bounded retry loop over the MAP-allocation budget.
+    pub fn alloc_retry(&self) -> Retry {
+        Retry::new(self.alloc_attempts)
+    }
+
+    /// A bounded retry loop over the mailbox hand-off budget.
+    pub fn mailbox_retry(&self) -> Retry {
+        Retry::new(self.mailbox_attempts)
+    }
+
+    /// A bounded retry loop over the per-window re-execution budget.
+    pub fn window_retry(&self) -> Retry {
+        Retry::new(self.window_attempts)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +228,20 @@ mod tests {
         assert!(!r.again(), "exhausted retry stays exhausted");
         let mut zero = Retry::new(0);
         assert!(!zero.again(), "zero-limit retry allows no attempts");
+    }
+
+    #[test]
+    fn retry_policy_budgets_are_independent() {
+        let p = RetryPolicy { alloc_attempts: 2, mailbox_attempts: 0, window_attempts: 1 };
+        let mut alloc = p.alloc_retry();
+        assert!(alloc.again());
+        assert!(alloc.again());
+        assert!(!alloc.again());
+        assert!(!p.mailbox_retry().again(), "zero budget allows no attempts");
+        let mut w = p.window_retry();
+        assert!(w.again());
+        assert!(!w.again());
+        assert_eq!(RetryPolicy::default(), RetryPolicy::new());
     }
 
     #[test]

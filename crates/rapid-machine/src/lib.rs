@@ -38,7 +38,7 @@ pub mod mailbox;
 pub mod rma;
 
 pub use arena::{Arena, ArenaError};
-pub use backoff::{Backoff, Retry};
+pub use backoff::{Backoff, Retry, RetryPolicy};
 pub use config::MachineConfig;
 pub use fault::{FaultPlan, FaultSpec, ProcFaults};
 pub use machine::{AggregatingMachine, DirectMachine, Machine, Port, SendOutcome, VirtualMachine};

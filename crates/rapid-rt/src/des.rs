@@ -33,6 +33,42 @@ fn vts(now: f64) -> u64 {
     (now.max(0.0) * 1e9).round() as u64
 }
 
+/// A [`DesConfig`] builder was handed something the event-driven
+/// executor cannot honour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The fault plan carries rejection-site knobs (mailbox rejection
+    /// and/or transient allocation failure). The DES cannot model them —
+    /// an injected rejection of a genuinely empty slot would never
+    /// receive a wake event in the event system, manufacturing a
+    /// deadlock the real machine cannot exhibit — so the plan is
+    /// refused rather than silently stripped.
+    RejectionSitesUnsupported {
+        /// The plan's mailbox-rejection probability (‰).
+        mailbox_reject_permille: u16,
+        /// The plan's allocation-failure probability (‰).
+        alloc_fail_permille: u16,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RejectionSitesUnsupported {
+                mailbox_reject_permille,
+                alloc_fail_permille,
+            } => write!(
+                f,
+                "DES fault plans support delay sites only, but this plan injects rejections \
+                 (mailbox {mailbox_reject_permille}‰, alloc {alloc_fail_permille}‰); \
+                 strip them explicitly with FaultPlan::delay_sites_only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Executor configuration.
 #[derive(Clone, Debug)]
 pub struct DesConfig {
@@ -99,11 +135,22 @@ impl DesConfig {
         self
     }
 
-    /// Inject a deterministic fault plan (delay sites only; see
-    /// [`DesConfig::faults`]).
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+    /// Inject a deterministic fault plan. Only delay sites are
+    /// supported (see [`DesConfig::faults`]): a plan carrying rejection
+    /// or allocation-failure knobs is refused with
+    /// [`ConfigError::RejectionSitesUnsupported`] instead of silently
+    /// dropping them — strip such a plan explicitly with
+    /// [`FaultPlan::delay_sites_only`] when the delay subset is what you
+    /// mean.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Result<Self, ConfigError> {
+        if faults.spec.has_rejection_sites() {
+            return Err(ConfigError::RejectionSitesUnsupported {
+                mailbox_reject_permille: faults.spec.mailbox_reject_permille,
+                alloc_fail_permille: faults.spec.alloc_fail_permille,
+            });
+        }
         self.faults = Some(faults);
-        self
+        Ok(self)
     }
 
     /// Enable per-processor event tracing. Note the trace checker's
@@ -918,7 +965,9 @@ mod tests {
             DesExecutor::new(
                 &g,
                 &sched,
-                DesConfig::managed(machine.clone()).with_faults(FaultPlan::delay_heavy(seed)),
+                DesConfig::managed(machine.clone())
+                    .with_faults(FaultPlan::delay_heavy(seed))
+                    .expect("delay-only plan"),
             )
             .run()
             .unwrap()
@@ -939,6 +988,29 @@ mod tests {
             (c.parallel_time, c.finish.clone()),
             "different seeds should perturb the timeline"
         );
+    }
+
+    #[test]
+    fn rejection_site_fault_plans_are_refused_not_dropped() {
+        let machine = MachineConfig::unit(2, 8);
+        let plan = FaultPlan::mixed(7); // carries rejection + alloc sites
+        let err = DesConfig::managed(machine.clone()).with_faults(plan.clone()).unwrap_err();
+        match &err {
+            &ConfigError::RejectionSitesUnsupported {
+                mailbox_reject_permille,
+                alloc_fail_permille,
+            } => {
+                assert_eq!(mailbox_reject_permille, plan.spec.mailbox_reject_permille);
+                assert_eq!(alloc_fail_permille, plan.spec.alloc_fail_permille);
+            }
+        }
+        let text = err.to_string();
+        assert!(text.contains("delay sites only"), "{text}");
+        // The documented escape hatch: strip to the delay subset.
+        let cfg = DesConfig::managed(machine)
+            .with_faults(plan.delay_sites_only())
+            .expect("stripped plan is delay-only");
+        assert!(cfg.faults.is_some());
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //!   address mailboxes, REC/EXE/SND/MAP/END state machine with RA and CQ
 //!   service routines. Exercises the Theorem-1 liveness argument under
 //!   real concurrency and computes actual numeric results.
+//! - [`recover`] — self-healing supervision: the recovery policy armed on
+//!   the threaded executor (site retries, window checkpoints, rollback &
+//!   re-execution) and the processor-quarantine supervisor that re-plans
+//!   the remaining work onto survivors when a window is unrecoverable.
 
 #![warn(missing_docs)]
 
 pub mod des;
 pub mod inspector;
 pub mod maps;
+pub mod recover;
 pub mod threaded;
 
-pub use des::{DesConfig, DesExecutor, DesOutcome};
+pub use des::{ConfigError, DesConfig, DesExecutor, DesOutcome};
 pub use inspector::Inspector;
 pub use maps::{ExecError, MapPlacement, MapWindow, PlannedMap, RtPlan};
 pub use rapid_trace::{TraceConfig, TraceSet};
+pub use recover::{RecoveryPolicy, RecoveryReport, RetryPolicy, Supervisor};
 pub use threaded::{run_sequential, Backend, TaskCtx, ThreadedExecutor, ThreadedOutcome};

@@ -545,6 +545,20 @@ pub enum ExecError {
         /// Which accessor it used.
         op: AccessOp,
     },
+    /// Recovery gave up: a window kept failing until its re-execution
+    /// budget was exhausted. Carries the underlying error so the cause
+    /// of the *last* attempt is never lost, and names the budget so
+    /// operators can tell a too-small budget from a hard fault.
+    Unrecoverable {
+        /// Processor whose window could not be recovered.
+        proc: ProcId,
+        /// Order position the failing window starts at.
+        pos: u32,
+        /// Re-execution attempts consumed (the exhausted budget).
+        attempts: u32,
+        /// The failure of the final attempt.
+        cause: Box<ExecError>,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -579,6 +593,10 @@ impl std::fmt::Display for ExecError {
                     AccessViolation { obj: *obj, op: *op }
                 )
             }
+            ExecError::Unrecoverable { proc, pos, attempts, cause } => write!(
+                f,
+                "unrecoverable: window at P{proc} pos {pos} still failing after {attempts} re-execution attempts (budget exhausted); last cause: {cause}"
+            ),
         }
     }
 }

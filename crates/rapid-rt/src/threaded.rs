@@ -58,6 +58,7 @@
 
 use crate::inspector::{ProcDiag, StallSnapshot, StateBoard, WorkerState};
 use crate::maps::{AccessOp, AccessViolation, ExecError, MapPlanner, RtPlan};
+use crate::recover::RecoveryPolicy;
 use rapid_core::graph::{ObjId, TaskGraph, TaskId};
 use rapid_core::schedule::Schedule;
 use rapid_machine::affinity;
@@ -68,7 +69,7 @@ use rapid_machine::machine::{AggregatingMachine, DirectMachine, Machine, Port, S
 use rapid_machine::mailbox::AddrEntry;
 use rapid_machine::rma::{FlagBoard, RmaHeap};
 use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet};
-use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -247,6 +248,7 @@ pub struct ThreadedExecutor<'a> {
     pinning: bool,
     faults: Option<FaultPlan>,
     tracing: Option<TraceConfig>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl<'a> ThreadedExecutor<'a> {
@@ -270,6 +272,7 @@ impl<'a> ThreadedExecutor<'a> {
             pinning: false,
             faults: None,
             tracing: None,
+            recovery: None,
         }
     }
 
@@ -323,6 +326,19 @@ impl<'a> ThreadedExecutor<'a> {
     /// a single `Option` branch, so the fault-free hot path is unchanged.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Arm self-healing window recovery (builder form): site-level
+    /// retries under the policy's budgets, a checkpoint of every
+    /// allocation window's write set, and window-granular rollback &
+    /// re-execution on a task panic or access violation. A window still
+    /// failing when its budget is exhausted surfaces
+    /// [`ExecError::Unrecoverable`] naming the spent budget. Without
+    /// this call every recovery site is a single `Option` branch and no
+    /// checkpoint is captured — the fault-free hot path is unchanged.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -398,6 +414,7 @@ impl<'a> ThreadedExecutor<'a> {
         let heaps: Vec<RmaHeap> = (0..nprocs).map(|_| RmaHeap::new(self.capacity)).collect();
         let flags = FlagBoard::new(self.plan.msgs.len());
         let state = StateBoard::new(nprocs);
+        let recov = RecovBoard::new(nprocs);
         let poison = AtomicBool::new(false);
         let error: Mutex<Option<ExecError>> = Mutex::new(None);
         let error = &error;
@@ -420,6 +437,8 @@ impl<'a> ThreadedExecutor<'a> {
             watchdog: self.watchdog,
             faults: self.faults.as_ref(),
             tracing: self.tracing,
+            recovery: self.recovery,
+            recov: &recov,
             epoch,
             body: &body,
             init: &init,
@@ -566,11 +585,58 @@ struct Shared<'e, F, I, M> {
     watchdog: Duration,
     faults: Option<&'e FaultPlan>,
     tracing: Option<TraceConfig>,
+    recovery: Option<RecoveryPolicy>,
+    recov: &'e RecovBoard,
     /// Epoch of the parallel section; trace timestamps are nanoseconds
     /// since this instant.
     epoch: Instant,
     body: &'e F,
     init: &'e I,
+}
+
+/// Lock-free recovery telemetry the workers publish for stall snapshots:
+/// per-processor MAP-phase retry / EXE-phase rollback counters plus the
+/// most recent recovery. Written only on the (rare) recovery paths;
+/// unarmed runs never touch it.
+struct RecovBoard {
+    /// `[MAP-phase retries, EXE-phase rollbacks]` per processor.
+    counts: Vec<[AtomicU32; 2]>,
+    /// Packed `proc << 48 | pos << 16 | attempt`; `u64::MAX` = none yet.
+    last: AtomicU64,
+}
+
+impl RecovBoard {
+    fn new(nprocs: usize) -> Self {
+        RecovBoard {
+            counts: (0..nprocs).map(|_| [AtomicU32::new(0), AtomicU32::new(0)]).collect(),
+            last: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one recovery on `p` (relaxed: diagnostics only).
+    fn note(&self, p: usize, map_phase: bool, pos: u32, attempt: u32) {
+        self.counts[p][usize::from(!map_phase)].fetch_add(1, AtOrd::Relaxed);
+        let packed =
+            ((p as u64) << 48) | ((pos as u64 & 0xFFFF_FFFF) << 16) | (attempt as u64 & 0xFFFF);
+        self.last.store(packed, AtOrd::Relaxed);
+    }
+
+    /// `(total MAP retries, total window rollbacks)` across processors.
+    fn totals(&self) -> (u32, u32) {
+        self.counts.iter().fold((0, 0), |(r, rb), c| {
+            (r + c[0].load(AtOrd::Relaxed), rb + c[1].load(AtOrd::Relaxed))
+        })
+    }
+
+    /// Most recent recovery as `(proc, window position, attempt)`.
+    fn last_recovery(&self) -> Option<(u32, u32, u32)> {
+        let w = self.last.load(AtOrd::Relaxed);
+        (w != u64::MAX).then_some((
+            (w >> 48) as u32,
+            ((w >> 16) & 0xFFFF_FFFF) as u32,
+            w as u32 & 0xFFFF,
+        ))
+    }
 }
 
 /// Worker-owned tracer: the per-processor event ring plus the run epoch
@@ -675,6 +741,12 @@ struct Net<'e, P: Port> {
     pkg_send_seq: Vec<u32>,
     /// `pkg_recv_seq[src]`: address packages drained from `src` so far.
     pkg_recv_seq: Vec<u32>,
+    /// `sent[msg]`: message already completed (flag raised). Maintained
+    /// only when window recovery is armed (empty otherwise): a rolled
+    /// back window re-enters its SND states, and a completed message
+    /// must not be re-sent — the bytes would be identical, but arrival
+    /// flags and the receiver's consumption are one-shot.
+    sent: Vec<bool>,
 }
 
 impl<'e, P: Port> Net<'e, P> {
@@ -711,6 +783,7 @@ impl<'e, P: Port> Net<'e, P> {
             tr: None,
             pkg_send_seq: vec![0; nprocs],
             pkg_recv_seq: vec![0; nprocs],
+            sent: Vec::new(),
         }
     }
 
@@ -756,6 +829,9 @@ impl<'e, P: Port> Net<'e, P> {
             }
         }
         self.flags.raise(mid as usize);
+        if let Some(s) = self.sent.get_mut(mid as usize) {
+            *s = true;
+        }
         if let Some(tr) = self.tr.as_mut() {
             tr.rec(Event::SendOk { msg: mid });
         }
@@ -763,7 +839,12 @@ impl<'e, P: Port> Net<'e, P> {
     }
 
     /// SND: send `mid` now, or park it on its first missing address.
+    /// No-op for a message that already completed (only possible when a
+    /// recovered window re-runs its SND states).
     fn send_or_suspend(&mut self, mid: u32) {
+        if self.sent.get(mid as usize).copied().unwrap_or(false) {
+            return;
+        }
         if let Err(missing) = self.try_send(mid) {
             if let Some(tr) = self.tr.as_mut() {
                 tr.rec(Event::SendSuspend { msg: mid, missing });
@@ -900,6 +981,22 @@ where
     let mut next_map: u32 = 0;
     let mut pacer = Pacer::new();
 
+    // Self-healing state (armed by [`ThreadedExecutor::with_recovery`];
+    // everything below stays empty — and every consulting site a single
+    // predictable branch — on unarmed runs).
+    let recovery = sh.recovery;
+    let mut window_start: u32 = 0;
+    let mut window_attempts: u32 = 0;
+    // Pre-window contents of the current window's write set, for
+    // EXE-phase rollback: `(obj, units, offset, start in ckpt_data)`.
+    let mut ckpt: Vec<(u32, u64, u64, usize)> = Vec::new();
+    let mut ckpt_data: Vec<f64> = Vec::new();
+    let mut ckpt_seen: Vec<bool> =
+        if recovery.is_some() { vec![false; g.num_objects()] } else { Vec::new() };
+    if recovery.is_some() {
+        net.sent = vec![false; plan.msgs.len()];
+    }
+
     macro_rules! bail {
         () => {
             return (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(|t| t.t))
@@ -933,6 +1030,11 @@ where
     while (pos as usize) < order.len() {
         // MAP state.
         if pos == next_map {
+            // A new allocation window begins here: it gets a fresh
+            // re-execution budget (EXE-phase rollbacks never rewind
+            // across a MAP, so the previous window's spend is settled).
+            window_start = pos;
+            window_attempts = 0;
             sh.state.publish(p, WorkerState::Map, pos, net.suspended as u32);
             if let Some(tr) = net.tr.as_mut() {
                 tr.state(ProtoState::Map);
@@ -977,69 +1079,134 @@ where
             // may have coalesced room. Only the task at `pos` itself
             // failing to place is a hard `Fragmented` error.
             let mut truncated = false;
-            for (ai, &d) in action.allocs.iter().enumerate() {
-                let size = g.obj_size(d);
-                let mut retry = Retry::new(FRAG_RETRIES);
-                let off = loop {
-                    let injected = net.faults.as_mut().is_some_and(|f| f.alloc_fails());
-                    if injected {
-                        if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::Fault { site: FaultSite::AllocFail });
+            let alloc_budget = recovery.map_or(FRAG_RETRIES, |r| r.retry.alloc_attempts);
+            'wave: loop {
+                // Index of the alloc whose failure is *hard* — the task
+                // at `pos` itself cannot be placed — this wave attempt.
+                let mut hard_fail: Option<usize> = None;
+                for (ai, &d) in action.allocs.iter().enumerate() {
+                    let size = g.obj_size(d);
+                    let mut retry = Retry::new(alloc_budget);
+                    let off = loop {
+                        let injected = net.faults.as_mut().is_some_and(|f| f.alloc_fails());
+                        if injected {
+                            if let Some(tr) = net.tr.as_mut() {
+                                tr.rec(Event::Fault { site: FaultSite::AllocFail });
+                            }
+                        } else {
+                            match arena.alloc(size) {
+                                Ok(off) => break Some(off),
+                                Err(ArenaError::Fragmented { .. }) => {}
+                                Err(_) => {
+                                    fail(ExecError::NonExecutable {
+                                        proc: p as u32,
+                                        position: pos,
+                                        needed: planner.in_use(),
+                                        capacity: sh.capacity,
+                                    });
+                                    bail!();
+                                }
+                            }
                         }
-                    } else {
-                        match arena.alloc(size) {
-                            Ok(off) => break Some(off),
-                            Err(ArenaError::Fragmented { .. }) => {}
-                            Err(_) => {
-                                fail(ExecError::NonExecutable {
+                        if sh.poison.load(AtOrd::Acquire) {
+                            bail!();
+                        }
+                        // Keep servicing RA/CQ between attempts so the
+                        // system keeps evolving while we wait (Theorem 1).
+                        if net.service() {
+                            pacer.mark();
+                        }
+                        if !retry.again() {
+                            break None;
+                        }
+                    };
+                    match off {
+                        Some(off) => {
+                            net.local[d.idx()] = off;
+                            if let Some(tr) = net.tr.as_mut() {
+                                tr.rec(Event::Alloc { obj: d.0, units: size, offset: off });
+                            }
+                        }
+                        None if action.alloc_pos[ai] == pos => {
+                            hard_fail = Some(ai);
+                            break;
+                        }
+                        None => {
+                            // The failing object and everything after it
+                            // were never placed, so no Alloc events were
+                            // recorded for them — the trace replay's
+                            // accounting stays consistent with the planner
+                            // rollback without any compensating event.
+                            for &dd in &action.allocs[ai..] {
+                                planner.rollback_alloc(g, dd);
+                            }
+                            action.next_map = action.alloc_pos[ai];
+                            truncated = true;
+                            break;
+                        }
+                    }
+                }
+                let Some(ai) = hard_fail else { break 'wave };
+                let requested = g.obj_size(action.allocs[ai]);
+                let frag = ExecError::Fragmented {
+                    proc: p as u32,
+                    requested,
+                    largest: arena.largest_free(),
+                };
+                match recovery.map(|r| r.retry.window_attempts) {
+                    Some(budget) if window_attempts < budget => {
+                        // MAP-phase window retry: undo this attempt's
+                        // arena placements and re-run the wave. The
+                        // planner accounting is untouched (the same
+                        // objects are re-placed below) and the arena
+                        // free-list restores, so the re-placed offsets —
+                        // and hence the recovered trace — depend only on
+                        // the fault seed and the plan. No task ran yet,
+                        // so no content checkpoint is needed here.
+                        window_attempts += 1;
+                        for &dd in &action.allocs[..ai] {
+                            let off = net.local[dd.idx()];
+                            if off == NO_ADDR {
+                                continue;
+                            }
+                            net.local[dd.idx()] = NO_ADDR;
+                            if let Err(e) = arena.free(off) {
+                                fail(ExecError::Internal {
                                     proc: p as u32,
-                                    position: pos,
-                                    needed: planner.in_use(),
-                                    capacity: sh.capacity,
+                                    detail: format!(
+                                        "recovery rollback of {dd:?} at offset {off} rejected: {e:?}"
+                                    ),
                                 });
                                 bail!();
                             }
+                            if let Some(tr) = net.tr.as_mut() {
+                                tr.rec(Event::AllocRollback { obj: dd.0, units: g.obj_size(dd) });
+                            }
                         }
-                    }
-                    if sh.poison.load(AtOrd::Acquire) {
-                        bail!();
-                    }
-                    // Keep servicing RA/CQ between attempts so the system
-                    // keeps evolving while we wait (Theorem 1).
-                    if net.service() {
-                        pacer.mark();
-                    }
-                    if !retry.again() {
-                        break None;
-                    }
-                };
-                match off {
-                    Some(off) => {
-                        net.local[d.idx()] = off;
                         if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::Alloc { obj: d.0, units: size, offset: off });
+                            tr.rec(Event::WindowRollback { pos, attempt: window_attempts });
                         }
+                        sh.recov.note(p, true, pos, window_attempts);
+                        // One service round between attempts: an injected
+                        // fault stream drains its budget, a genuinely
+                        // fragmented arena gets a chance to coalesce.
+                        if net.service() {
+                            pacer.mark();
+                        }
+                        continue 'wave;
                     }
-                    None if action.alloc_pos[ai] == pos => {
-                        fail(ExecError::Fragmented {
+                    Some(budget) => {
+                        fail(ExecError::Unrecoverable {
                             proc: p as u32,
-                            requested: size,
-                            largest: arena.largest_free(),
+                            pos,
+                            attempts: budget,
+                            cause: Box::new(frag),
                         });
                         bail!();
                     }
                     None => {
-                        // The failing object and everything after it were
-                        // never placed, so no Alloc events were recorded
-                        // for them — the trace replay's accounting stays
-                        // consistent with the planner rollback without any
-                        // compensating event.
-                        for &dd in &action.allocs[ai..] {
-                            planner.rollback_alloc(g, dd);
-                        }
-                        action.next_map = action.alloc_pos[ai];
-                        truncated = true;
-                        break;
+                        fail(frag);
+                        bail!();
                     }
                 }
             }
@@ -1129,6 +1296,37 @@ where
                     arena_high: arena.peak(),
                 });
             }
+            // Photograph the window's write set before any of its tasks
+            // run: bodies may read-modify-write their local permanents,
+            // so EXE-phase rollback must restore pre-window contents.
+            // Volatiles are deliberately *not* captured — they are filled
+            // by remote puts that survive a rollback (flags stay raised),
+            // and this worker's tasks never write them (owner-compute).
+            if recovery.is_some() {
+                ckpt.clear();
+                ckpt_data.clear();
+                let end = (next_map as usize).min(order.len());
+                for &wt in &order[pos as usize..end] {
+                    for &w in g.writes(wt) {
+                        if ckpt_seen[w as usize] {
+                            continue;
+                        }
+                        ckpt_seen[w as usize] = true;
+                        let d = ObjId(w);
+                        let off = net.local[d.idx()];
+                        let len = g.obj_size(d);
+                        let start = ckpt_data.len();
+                        // SAFETY: our own permanent buffer (owner-compute
+                        // makes this worker its only writer), read before
+                        // any task of this window has run.
+                        ckpt_data.extend_from_slice(unsafe { heaps[p].slice(off, len) });
+                        ckpt.push((w, len, off, start));
+                    }
+                }
+                for &(w, ..) in &ckpt {
+                    ckpt_seen[w as usize] = false;
+                }
+            }
         }
 
         let t = order[pos as usize];
@@ -1204,8 +1402,12 @@ where
             let body_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 (sh.body)(t, &mut ctx);
             }));
-            if let Err(payload) = body_ok {
-                fail(match payload.downcast::<AccessViolation>() {
+            // Reclaim the pooled context parts (and reset the slot table)
+            // on both paths — a recovered window re-assembles contexts.
+            let body_err = body_ok.err();
+            (ctx_reads, ctx_writes, slots) = ctx.dismantle();
+            if let Some(payload) = body_err {
+                let cause = match payload.downcast::<AccessViolation>() {
                     Ok(v) => {
                         ExecError::AccessViolation { proc: p as u32, task: t, obj: v.obj, op: v.op }
                     }
@@ -1214,13 +1416,51 @@ where
                         task: Some(t),
                         payload: panic_payload_str(other.as_ref()),
                     },
-                });
-                bail!();
+                };
+                let Some(pol) = recovery else {
+                    fail(cause);
+                    bail!();
+                };
+                if window_attempts >= pol.retry.window_attempts {
+                    fail(ExecError::Unrecoverable {
+                        proc: p as u32,
+                        pos: window_start,
+                        attempts: window_attempts,
+                        cause: Box::new(cause),
+                    });
+                    bail!();
+                }
+                window_attempts += 1;
+                // Quiesce before restoring: a send suspended (or a
+                // package batch still buffered) earlier in this window
+                // must complete *now*, while the written buffers hold
+                // the values it is supposed to carry — a put firing
+                // after the restore would ship pre-window bytes.
+                while net.suspended > 0 || net.port.pending() > 0 {
+                    spin_service!();
+                }
+                // Restore the pre-window contents of the window's write
+                // set; everything else (volatile allocations, arrival
+                // flags, received addresses, completed sends) is still
+                // valid and is deliberately kept.
+                for &(_, len, off, start) in &ckpt {
+                    // SAFETY: the same exclusive local permanents the
+                    // checkpoint read; no remote writer exists
+                    // (owner-compute) and no local task is running.
+                    unsafe { heaps[p].slice_mut(off, len) }
+                        .copy_from_slice(&ckpt_data[start..start + len as usize]);
+                }
+                if let Some(tr) = net.tr.as_mut() {
+                    tr.rec(Event::WindowRollback { pos: window_start, attempt: window_attempts });
+                }
+                sh.recov.note(p, false, window_start, window_attempts);
+                pos = window_start;
+                pacer.mark();
+                continue;
             }
             if let Some(tr) = net.tr.as_mut() {
                 tr.rec(Event::TaskEnd { task: t.0 });
             }
-            (ctx_reads, ctx_writes, slots) = ctx.dismantle();
         }
 
         // SND state.
@@ -1300,6 +1540,7 @@ fn build_snapshot<F, I, M: Machine>(
                 .collect()
         })
         .unwrap_or_default();
+    let (recovery_retries, recovery_rollbacks) = sh.recov.totals();
     StallSnapshot {
         reporter: reporter as u32,
         watchdog_ms: sh.watchdog.as_millis() as u64,
@@ -1307,6 +1548,10 @@ fn build_snapshot<F, I, M: Machine>(
         msgs_total: sh.plan.msgs.len(),
         procs,
         recent_events,
+        recovery_retries,
+        recovery_rollbacks,
+        last_recovery: sh.recov.last_recovery(),
+        quarantined: Vec::new(),
     }
 }
 
@@ -1600,5 +1845,41 @@ mod tests {
             let out = exec.run(test_body).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(out.objects, reference, "{name}: results differ");
         }
+    }
+
+    #[test]
+    fn armed_recovery_is_invisible_on_clean_runs() {
+        // Arming recovery on a fault-free run must change nothing
+        // observable: same results, same protocol skeleton, and not a
+        // single rollback event in the trace.
+        let g = fixtures::figure2_dag();
+        let sched = fixtures::figure2_schedule_c();
+        let mm = min_mem(&g, &sched).min_mem;
+        let run = |armed: bool| {
+            let mut exec = ThreadedExecutor::new(&g, &sched, mm)
+                .with_tracing(rapid_trace::TraceConfig::default());
+            if armed {
+                exec = exec.with_recovery(crate::recover::RecoveryPolicy::new());
+            }
+            exec.run(test_body).expect("clean run")
+        };
+        let plain = run(false);
+        let armed = run(true);
+        assert_eq!(armed.objects, plain.objects);
+        assert_eq!(armed.maps, plain.maps);
+        let tr = armed.trace.as_ref().expect("tracing enabled");
+        assert!(
+            tr.procs.iter().flat_map(|p| p.iter()).all(|(_, e)| !matches!(
+                e,
+                rapid_trace::Event::WindowRollback { .. }
+                    | rapid_trace::Event::AllocRollback { .. }
+            )),
+            "clean armed run must record no recovery events"
+        );
+        assert_eq!(
+            rapid_trace::skeletons(tr),
+            rapid_trace::skeletons(plain.trace.as_ref().expect("tracing enabled")),
+            "arming recovery must not perturb the protocol skeleton"
+        );
     }
 }

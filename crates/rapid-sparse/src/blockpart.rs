@@ -54,7 +54,7 @@ impl BlockPartition {
     /// Block containing index `i` (binary search; works for non-uniform
     /// partitions such as supernodes).
     pub fn block_of(&self, i: usize) -> usize {
-        debug_assert!(i < *self.bounds.last().expect("non-empty partition"));
+        debug_assert!(self.bounds.last().is_some_and(|&n| i < n));
         self.bounds.partition_point(|&b| b <= i) - 1
     }
 
@@ -98,7 +98,7 @@ pub fn supernode_partition(sym: &crate::symbolic::CholSymbolic, max_w: usize) ->
     let mut i = 1;
     while i < bounds.len() {
         let mut end = bounds[i];
-        while i + 1 < bounds.len() && bounds[i + 1] - *merged.last().expect("nonempty") <= max_w {
+        while i + 1 < bounds.len() && bounds[i + 1] - merged.last().copied().unwrap_or(0) <= max_w {
             i += 1;
             end = bounds[i];
         }

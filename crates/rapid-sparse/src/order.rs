@@ -35,10 +35,9 @@ pub fn rcm(a: &SparseMatrix) -> Vec<u32> {
     while order.len() < n {
         // Start vertex: unvisited vertex of minimum degree, then push it to
         // a pseudo-periphery with two BFS sweeps.
-        let start = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| deg[v])
-            .expect("unvisited vertex exists");
+        let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| deg[v]) else {
+            break; // unreachable: order.len() < n leaves an unvisited vertex
+        };
         let start = pseudo_peripheral(&adj, start);
         let mut queue = vec![start as u32];
         visited[start] = true;
@@ -117,10 +116,9 @@ pub fn min_degree(a: &SparseMatrix) -> Vec<u32> {
     // robust; callers needing speed use RCM).
     let mut degree: Vec<usize> = nbrs.iter().map(Vec::len).collect();
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| !eliminated[v])
-            .min_by_key(|&v| (degree[v], v))
-            .expect("vertex remains");
+        let Some(v) = (0..n).filter(|&v| !eliminated[v]).min_by_key(|&v| (degree[v], v)) else {
+            break; // unreachable: n iterations eliminate exactly n vertices
+        };
         eliminated[v] = true;
         order.push(v as u32);
         // Form the clique among v's uneliminated neighbours.

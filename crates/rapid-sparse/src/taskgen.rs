@@ -213,7 +213,9 @@ fn cholesky_2d_model_with(
             }
         }
     }
-    let (graph, _) = tb.build(false).expect("cholesky trace builds");
+    let (graph, _) = tb
+        .build(false)
+        .unwrap_or_else(|e| unreachable!("cholesky trace builds by construction: {e:?}"));
     debug_assert_eq!(graph.num_tasks(), kinds.len());
     debug_assert_eq!(graph.num_objects(), block_of_obj.len());
     CholeskyModel { graph, pattern, obj_of_block, block_of_obj, kinds, owner, grid, n }
@@ -234,7 +236,11 @@ impl CholeskyModel {
             CholTask::Fact { k } => {
                 let w = self.pattern.part.width(k as usize);
                 let buf = self.obj_buf_mut(ctx, k, k);
-                kernels::potrf(buf, w).expect("diagonal block is SPD");
+                if let Err(p) = kernels::potrf(buf, w) {
+                    // Panic is the body's typed-failure channel: the
+                    // executor surfaces it as `WorkerPanicked`.
+                    panic!("Fact({k}): diagonal block is not SPD (pivot {p})");
+                }
             }
             CholTask::Scale { i, k } => {
                 let h = self.pattern.part.width(i as usize);
@@ -389,7 +395,8 @@ pub fn lu_1d_model(a: &SparseMatrix, block_w: usize, nprocs: usize, numeric: boo
             }
         }
     }
-    let (graph, _) = tb.build(false).expect("lu trace builds");
+    let (graph, _) =
+        tb.build(false).unwrap_or_else(|e| unreachable!("lu trace builds by construction: {e:?}"));
     debug_assert_eq!(graph.num_tasks(), kinds.len());
     LuModel { graph, colpat, obj_of_block, kinds, owner, n, numeric }
 }
@@ -401,7 +408,9 @@ impl LuModel {
         assert!(self.numeric, "numeric init needs dense panels");
         let n = self.n;
         move |d: ObjId, buf: &mut [f64]| {
-            let k = self.obj_of_block.iter().position(|&o| o == d).expect("object is a panel");
+            let Some(k) = self.obj_of_block.iter().position(|&o| o == d) else {
+                unreachable!("init called on a non-panel object {d:?}");
+            };
             let cr = self.colpat.part.range(k);
             buf.fill(0.0);
             for (cq, c) in cr.enumerate() {

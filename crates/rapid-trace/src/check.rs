@@ -27,6 +27,13 @@
 //!    in the processor's scheduled order, and a task begins only after
 //!    the REC state observed all of its incoming messages.
 //!
+//! Recovered runs replay under the same rules: a
+//! [`Event::WindowRollback`] rewinds the replay cursor to the window's
+//! first position (its rolled-back allocations having been retired via
+//! [`Event::AllocRollback`]), after which the re-executed window must
+//! discharge every obligation again — re-running tasks out of schedule
+//! order, or without a recorded rollback, is still a violation.
+//!
 //! Ordering is per-processor program order plus the pairwise sequence
 //! matching of (2) — exactly what a distributed trace can promise
 //! without a global clock.
@@ -547,6 +554,16 @@ pub fn check(
                     }
                     next_task += 1;
                 }
+                Event::WindowRollback { pos, .. } => {
+                    // Recovery rewind: the window starting at `pos` was
+                    // abandoned and will re-execute. Rewind the schedule
+                    // cursor and forget the protocol state (the worker
+                    // legally re-enters REC or stays in MAP); received
+                    // messages stay received — arrival flags survive a
+                    // rollback by design.
+                    next_task = (*pos as usize).min(next_task);
+                    state = None;
+                }
                 Event::TaskEnd { .. } | Event::MailboxBusy { .. } | Event::Fault { .. } => {}
             }
         }
@@ -653,6 +670,15 @@ pub enum CanonEvent {
         /// Message id.
         msg: u32,
     },
+    /// A recovery rollback rewound the processor to `pos` for attempt
+    /// `attempt`. Seeded recovery is deterministic, so two runs of the
+    /// same (seed, scenario, plan) must agree on their rollbacks too.
+    Rollback {
+        /// Order position the window rewound to.
+        pos: u32,
+        /// Re-execution attempt number.
+        attempt: u32,
+    },
 }
 
 /// Project one processor's trace onto its canonical skeleton.
@@ -694,6 +720,9 @@ pub fn skeleton(trace: &ProcTrace) -> Vec<CanonEvent> {
             }
             Event::SendSuspend { msg, .. } if suspended.insert(*msg) && initiated.insert(*msg) => {
                 out.push(CanonEvent::SendInit { msg: *msg });
+            }
+            Event::WindowRollback { pos, attempt } => {
+                out.push(CanonEvent::Rollback { pos: *pos, attempt: *attempt });
             }
             _ => {}
         }
@@ -1043,6 +1072,118 @@ mod tests {
             Err(Violation::PhantomMessage { msg: 0, .. }) => {}
             other => panic!("expected PhantomMessage, got {other:?}"),
         }
+    }
+
+    /// P1's trace with an EXE-phase recovery spliced in: the task begins,
+    /// faults, the window rolls back to pos 0, and the replay re-runs
+    /// REC/EXE cleanly. With the rollback recorded the trace must pass.
+    fn recovered_traces() -> TraceSet {
+        let base = clean_traces();
+        let cfg = TraceConfig::default();
+        let mut p1 = ProcTrace::new(1, cfg);
+        p1.state(0, ProtoState::Setup);
+        p1.state(1, ProtoState::Map);
+        p1.rec(1, Event::MapBegin { pos: 0 });
+        p1.rec(2, Event::Alloc { obj: 1, units: 3, offset: 0 });
+        p1.rec(3, Event::PkgSend { dst: 0, seq: 0, objs: vec![1] });
+        p1.rec(4, Event::MapEnd { pos: 0, next_map: 1, in_use: 3, arena_high: 3 });
+        p1.state(5, ProtoState::Rec);
+        p1.rec(6, Event::MsgRecv { msg: 0 });
+        p1.rec(7, Event::TaskBegin { task: 2, pos: 0 });
+        p1.state(7, ProtoState::Exe);
+        // Task body faulted: roll the window back and re-execute it.
+        p1.rec(8, Event::WindowRollback { pos: 0, attempt: 1 });
+        p1.state(9, ProtoState::Rec);
+        p1.rec(10, Event::MsgRecv { msg: 0 });
+        p1.rec(11, Event::TaskBegin { task: 2, pos: 0 });
+        p1.rec(12, Event::TaskEnd { task: 2 });
+        p1.state(12, ProtoState::Exe);
+        p1.state(13, ProtoState::Snd);
+        p1.state(14, ProtoState::End);
+        p1.state(15, ProtoState::Done);
+        TraceSet::new(vec![base.procs[0].clone(), p1])
+    }
+
+    #[test]
+    fn recovered_window_replay_passes() {
+        let (g, sched, spec) = tiny();
+        let report =
+            check(&g, &sched, &spec, &recovered_traces()).expect("recovered trace must pass");
+        assert!(report.complete, "rewind + replay still covers the full order");
+        assert_eq!(report.tasks_run, vec![2, 1]);
+    }
+
+    #[test]
+    fn reexecution_without_rollback_is_rejected() {
+        // Same re-executed window, but with the WindowRollback event
+        // stripped: the EXE→REC re-entry is an illegal transition, and
+        // even with the states stripped too, the second TaskBegin
+        // overruns the schedule.
+        let (g, sched, spec) = tiny();
+        let base = recovered_traces();
+        let cfg = TraceConfig::default();
+        let mut p1 = ProcTrace::new(1, cfg);
+        let mut tasks_only = ProcTrace::new(1, cfg);
+        for (ts, ev) in base.procs[1].iter() {
+            if !matches!(ev, Event::WindowRollback { .. }) {
+                p1.rec(*ts, ev.clone());
+                if !matches!(ev, Event::State(_)) {
+                    tasks_only.rec(*ts, ev.clone());
+                }
+            }
+        }
+        let bad = TraceSet::new(vec![base.procs[0].clone(), p1]);
+        match check(&g, &sched, &spec, &bad) {
+            Err(Violation::IllegalTransition {
+                proc: 1,
+                from: ProtoState::Exe,
+                to: ProtoState::Rec,
+            }) => {}
+            other => panic!("expected IllegalTransition, got {other:?}"),
+        }
+        let bad = TraceSet::new(vec![base.procs[0].clone(), tasks_only]);
+        match check(&g, &sched, &spec, &bad) {
+            Err(Violation::OrderViolation { proc: 1, got: 2, expected: u32::MAX }) => {}
+            other => panic!("expected OrderViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_phase_rollback_reallocates_cleanly() {
+        // A MAP-phase retry: allocations are rolled back via
+        // AllocRollback and re-made inside the same MAP. The re-made
+        // allocation must not count as a DoubleAlloc, and the skeleton
+        // of the retried MAP must equal the fault-free one (plus the
+        // recorded rollback).
+        let (g, sched, spec) = tiny();
+        let base = clean_traces();
+        let cfg = TraceConfig::default();
+        let mut p1 = ProcTrace::new(1, cfg);
+        p1.state(0, ProtoState::Setup);
+        p1.state(1, ProtoState::Map);
+        p1.rec(1, Event::MapBegin { pos: 0 });
+        p1.rec(2, Event::Alloc { obj: 1, units: 3, offset: 0 });
+        p1.rec(3, Event::AllocRollback { obj: 1, units: 3 });
+        p1.rec(4, Event::WindowRollback { pos: 0, attempt: 1 });
+        p1.rec(5, Event::Alloc { obj: 1, units: 3, offset: 0 });
+        p1.rec(6, Event::PkgSend { dst: 0, seq: 0, objs: vec![1] });
+        p1.rec(7, Event::MapEnd { pos: 0, next_map: 1, in_use: 3, arena_high: 3 });
+        p1.state(8, ProtoState::Rec);
+        p1.rec(9, Event::MsgRecv { msg: 0 });
+        p1.rec(10, Event::TaskBegin { task: 2, pos: 0 });
+        p1.rec(11, Event::TaskEnd { task: 2 });
+        p1.state(11, ProtoState::Exe);
+        p1.state(12, ProtoState::Snd);
+        p1.state(13, ProtoState::End);
+        p1.state(14, ProtoState::Done);
+        let traces = TraceSet::new(vec![base.procs[0].clone(), p1.clone()]);
+        check(&g, &sched, &spec, &traces).expect("retried MAP must pass");
+        let canon = skeleton(&p1);
+        assert!(canon.contains(&CanonEvent::Rollback { pos: 0, attempt: 1 }));
+        assert!(
+            canon.contains(&CanonEvent::Map { pos: 0, frees: vec![], allocs: vec![1] }),
+            "rolled-back allocs must not linger in the canonical MAP"
+        );
     }
 
     #[test]

@@ -144,6 +144,18 @@ pub enum Event {
         /// Size in allocation units.
         units: u64,
     },
+    /// A recovery rollback: the window that started at order position
+    /// `pos` was abandoned (its lookahead allocations rolled back via
+    /// [`Event::AllocRollback`] where applicable) and the processor
+    /// rewinds to `pos` for re-execution attempt `attempt`. The checker
+    /// rewinds its replay cursor accordingly, so a recovered run is held
+    /// to the same Theorem-1 obligations as a fault-free one.
+    WindowRollback {
+        /// Order position the window (and the replay cursor) rewinds to.
+        pos: u32,
+        /// Re-execution attempt number (1 = first retry).
+        attempt: u32,
+    },
     /// The MAP finished (including its address-package hand-offs).
     MapEnd {
         /// Position the MAP ran before.

@@ -164,6 +164,13 @@ pub fn chrome_trace_json(traces: &TraceSet, g: Option<&TaskGraph>) -> String {
                     *ts,
                     &format!(",\"args\":{{\"msg\":{msg}}}"),
                 ),
+                Event::WindowRollback { pos, attempt } => push_instant(
+                    &mut out,
+                    "window-rollback",
+                    tid,
+                    *ts,
+                    &format!(",\"args\":{{\"pos\":{pos},\"attempt\":{attempt}}}"),
+                ),
                 Event::Fault { site } => {
                     push_instant(&mut out, &format!("fault:{}", site.name()), tid, *ts, "")
                 }

@@ -24,10 +24,13 @@ use crate::verify::{verify_par, verify_placement, VerifyReport};
 use crate::Finding;
 use rapid_core::algo::bottom_levels_par;
 use rapid_core::dcg::Dcg;
-use rapid_core::graph::TaskGraph;
+use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 use rapid_rt::{MapPlacement, MapWindow, RtPlan};
-use rapid_sched::{avail_volatile, dts_order_with_blevel, merge_slices_from_h, slice_h_par};
+use rapid_sched::{
+    avail_volatile, dts_order_with_blevel, merge_slices_from_h, owner_compute_assignment,
+    slice_h_par,
+};
 
 /// The capacity-dependent outcome of a plan or replan. The schedule and
 /// protocol plan it belongs to live in the [`Replanner`]'s cache
@@ -127,6 +130,54 @@ impl<'g> Replanner<'g> {
         self.plan = plan;
         planned
     }
+
+    /// Degraded re-plan after a processor quarantine: every object owned
+    /// by a non-alive processor is re-placed cyclically (in object-id
+    /// order — deterministic) over the survivors, and the whole
+    /// owner-compute pipeline re-runs for the degraded assignment. The
+    /// machine keeps its width: quarantined processors own no objects
+    /// and run no tasks, so their workers retire straight through END
+    /// and no per-processor fault stream ever fires there.
+    ///
+    /// Returns an owned [`SurvivorPlan`]; the cached fault-free plan is
+    /// untouched, so a supervisor can degrade further from the same
+    /// cache. Only the DCG is reused — bottom levels and the per-slice
+    /// `H` depend on the assignment and are recomputed.
+    pub fn replan_survivors(&self, alive: &[bool], capacity: u64) -> SurvivorPlan {
+        assert_eq!(alive.len(), self.assign.nprocs, "alive mask must cover the machine");
+        let survivors: Vec<ProcId> =
+            alive.iter().enumerate().filter(|&(_, &a)| a).map(|(p, _)| p as ProcId).collect();
+        assert!(!survivors.is_empty(), "degraded re-plan needs at least one survivor");
+        let mut owner: Vec<ProcId> = self.g.objects().map(|d| self.assign.owner_of(d)).collect();
+        let mut next = 0usize;
+        for o in owner.iter_mut() {
+            if !alive[*o as usize] {
+                *o = survivors[next % survivors.len()];
+                next += 1;
+            }
+        }
+        let assign = owner_compute_assignment(self.g, &owner, alive.len());
+        let blevel = bottom_levels_par(self.g, self.cost, Some(&assign), self.nthreads);
+        let h = slice_h_par(self.g, &assign, &self.dcg, self.nthreads);
+        let avail = avail_volatile(self.g, &assign, capacity);
+        let (merged_of, nmerged) = merge_slices_from_h(&h, avail);
+        let sched = order_for(self.g, &assign, self.cost, &self.dcg, &merged_of, nmerged, &blevel);
+        let plan = RtPlan::new(self.g, &sched);
+        let planned = place_and_verify(self.g, &sched, &plan, capacity, self.nthreads, false);
+        SurvivorPlan { sched, planned }
+    }
+}
+
+/// The owned outcome of a degraded re-plan
+/// ([`Replanner::replan_survivors`]).
+#[derive(Clone, Debug)]
+pub struct SurvivorPlan {
+    /// The degraded schedule: same machine width, but quarantined
+    /// processors own no objects and run no tasks.
+    pub sched: Schedule,
+    /// Placement and verification of the degraded plan under the
+    /// requested capacity.
+    pub planned: Planned,
 }
 
 fn order_for(
@@ -300,6 +351,32 @@ mod tests {
         let re = rp.replan_capacity(2 * cap);
         assert!(re.incremental, "growing capacity must reuse the cached order");
         assert!(re.report.accepted());
+    }
+
+    #[test]
+    fn survivor_replan_moves_work_off_the_quarantined_proc() {
+        let cost = CostModel::unit();
+        let (g, a, cap) = case(4);
+        let cap = 2 * cap; // headroom: 3 survivors absorb 4 processors' objects
+        let (rp, cold) = Replanner::new(&g, &a, &cost, cap, 4);
+        assert!(cold.report.accepted(), "{:?}", cold.report.findings);
+        let alive = [true, false, true, true];
+        let sp = rp.replan_survivors(&alive, cap);
+        assert!(sp.planned.report.accepted(), "{:?}", sp.planned.report.findings);
+        assert_eq!(sp.sched.assign.nprocs, 4, "machine keeps its width");
+        assert!(sp.sched.order[1].is_empty(), "quarantined processor runs nothing");
+        for d in g.objects() {
+            assert_ne!(sp.sched.assign.owner_of(d), 1, "{d:?} still owned by the quarantined proc");
+        }
+        // The cached fault-free plan is untouched and further degradation
+        // from the same cache is deterministic.
+        let sp2 = rp.replan_survivors(&alive, cap);
+        assert_eq!(
+            plan_hash(&sp.sched, &sp.planned.placement),
+            plan_hash(&sp2.sched, &sp2.planned.placement),
+            "degraded re-plan must be deterministic"
+        );
+        assert_eq!(rp.sched().order.iter().map(Vec::len).sum::<usize>(), g.num_tasks());
     }
 
     #[test]

@@ -253,6 +253,49 @@ fn chaos_matrix_with_aggregation() {
 }
 
 #[test]
+fn recovery_heals_transient_panic_under_aggregation() {
+    // Window rollback × the flush ladder: a task that panics exactly once
+    // per run must be healed by window-granular recovery even when its
+    // window's packages are parked in aggregation buffers. The re-executed
+    // window must neither duplicate a package that already flushed (the
+    // per-message sent guard) nor lose one that was still parked — both
+    // would show up as corrupted results or a checker violation.
+    let spec = RandomGraphSpec { objects: 12, tasks: 30, ..Default::default() };
+    let g = random_irregular_graph(3, &spec);
+    let owner = cyclic_owner_map(g.num_objects(), 4);
+    let assign = owner_compute_assignment(&g, &owner, 4);
+    let sched = mpo_order(&g, &assign, &CostModel::unit());
+    let cap = min_mem(&g, &sched).min_mem + 8;
+    let reference = run_sequential(&g, body);
+    let victim = TaskId(17);
+    for threshold in [1usize, 4, usize::MAX] {
+        let armed = std::sync::atomic::AtomicBool::new(true);
+        let exec = ThreadedExecutor::new(&g, &sched, cap)
+            .with_aggregation(threshold)
+            .with_recovery(rapid::rt::RecoveryPolicy::new())
+            .with_tracing(TraceConfig::default());
+        let mut spec = exec.plan().trace_spec(cap);
+        spec.buffered_mailboxes = true;
+        let out = exec
+            .run(|t, ctx| {
+                if t == victim && armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    panic!("chaos: transient body panic under aggregation");
+                }
+                body(t, ctx)
+            })
+            .unwrap_or_else(|e| panic!("threshold {threshold}: recovery failed: {e}"));
+        assert_eq!(
+            out.objects, reference,
+            "threshold {threshold}: recovered aggregated run corrupted results"
+        );
+        let trace = out.trace.as_ref().expect("tracing was enabled");
+        if let Err(v) = check(&g, &sched, &spec, trace) {
+            panic!("threshold {threshold}: recovered run violated the protocol: {v}");
+        }
+    }
+}
+
+#[test]
 fn unbounded_threshold_never_starves_the_flush() {
     // Regression for flush starvation: with `usize::MAX` as threshold no
     // package ever flushes on count, so delivery relies entirely on the

@@ -165,8 +165,11 @@ fn faulted_traces_are_byte_identical_per_seed() {
     for fault_seed in [0u64, 9] {
         for (name, plan) in FaultPlan::scenarios(fault_seed) {
             let run = || {
+                // The DES models delay sites only; rejection-site knobs
+                // must be stripped explicitly (with_faults refuses them).
                 let cfg = DesConfig::managed(MachineConfig::unit(3, cap))
-                    .with_faults(plan.clone())
+                    .with_faults(plan.delay_sites_only())
+                    .expect("delay-only plan")
                     .with_tracing(TraceConfig::default());
                 let out = DesExecutor::new(&g, &sched, cfg)
                     .run()

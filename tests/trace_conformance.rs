@@ -169,7 +169,7 @@ fn des_trace_is_byte_identical_across_reruns() {
         let mut cfg =
             DesConfig::managed(MachineConfig::unit(3, cap)).with_tracing(TraceConfig::default());
         if let Some(f) = faults {
-            cfg = cfg.with_faults(f);
+            cfg = cfg.with_faults(f).expect("delay-only plan");
         }
         let out = DesExecutor::new(&g, &sched, cfg).run().expect("DES run");
         chrome_trace_json(out.trace.as_ref().expect("tracing enabled"), Some(&g))
