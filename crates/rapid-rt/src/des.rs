@@ -21,7 +21,10 @@ use rapid_machine::config::MachineConfig;
 use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
 use rapid_machine::machine::{Machine, Port, SendOutcome, VirtualMachine};
 use rapid_machine::mailbox::{AddrEntry, AddrPackage};
-use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet, NO_OFFSET};
+use rapid_trace::{
+    decode_rings, FlatRing, FlatWriter, LiveDrain, ProcMetrics, ProtoState, StreamChecker,
+    TraceConfig, TraceReport, TraceSet, TraceTier, Violation, NO_OFFSET,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -93,9 +96,15 @@ pub struct DesConfig {
     /// real machine cannot exhibit.
     pub faults: Option<FaultPlan>,
     /// Per-processor event tracing. `None` (the default) records nothing.
-    /// Timestamps are virtual nanoseconds, so same-seed reruns produce
-    /// byte-identical traces.
+    /// Recording goes through the flat binary rings and is decoded back
+    /// into typed events when the run completes. Timestamps are virtual
+    /// nanoseconds, so same-seed reruns produce byte-identical traces.
     pub trace: Option<TraceConfig>,
+    /// Check the Theorem-1 obligations *during* the simulation: a
+    /// [`LiveDrain`] polls the rings inline between event-loop steps and
+    /// the verdict lands in [`DesOutcome::stream_verdict`]. Requires
+    /// `trace` at a tier other than [`TraceTier::Off`].
+    pub streaming: bool,
 }
 
 impl DesConfig {
@@ -108,6 +117,7 @@ impl DesConfig {
             addr_buffering: false,
             faults: None,
             trace: None,
+            streaming: false,
         }
     }
 
@@ -120,6 +130,7 @@ impl DesConfig {
             addr_buffering: false,
             faults: None,
             trace: None,
+            streaming: false,
         }
     }
 
@@ -161,6 +172,13 @@ impl DesConfig {
         self.trace = Some(cfg);
         self
     }
+
+    /// Run the streaming checker inline with the simulation (see
+    /// [`DesConfig::streaming`]).
+    pub fn with_streaming_check(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
 }
 
 /// Result of a successful run.
@@ -184,11 +202,16 @@ pub struct DesOutcome {
     pub peak_queued_pkgs: usize,
     /// Per-task finish times (simulated seconds).
     pub finish: Vec<f64>,
-    /// Recorded event traces when [`DesConfig::trace`] was set.
+    /// Recorded event traces when [`DesConfig::trace`] was set at a
+    /// tier other than [`TraceTier::Off`].
     pub trace: Option<TraceSet>,
     /// Per-processor metrics aggregated from the trace (present exactly
     /// when `trace` is).
     pub metrics: Option<Vec<ProcMetrics>>,
+    /// Verdict of the inline streaming checker, when
+    /// [`DesConfig::streaming`] was set: the same typed result the
+    /// post-hoc [`rapid_trace::check`] replay produces.
+    pub stream_verdict: Option<Result<TraceReport, Violation>>,
 }
 
 impl DesOutcome {
@@ -285,18 +308,39 @@ impl<'a> DesExecutor<'a> {
             })
             .collect();
 
-        let mut traces: Option<Vec<ProcTrace>> =
-            self.cfg.trace.map(|tc| (0..nprocs as u32).map(|p| ProcTrace::new(p, tc)).collect());
+        // Recording goes straight into per-processor flat rings; the
+        // typed trace is decoded once at the end of the run. Headroom on
+        // top of the configured capacity absorbs the multi-record object
+        // lists of package events.
+        let tier = self.cfg.trace.map_or(TraceTier::Off, |tc| tc.tier);
+        let rings: Option<Vec<FlatRing>> = (tier != TraceTier::Off).then(|| {
+            let cap = self.cfg.trace.map_or(0, |tc| tc.capacity);
+            (0..nprocs).map(|p| FlatRing::new(p as u32, cap + cap / 4)).collect()
+        });
+        let mut ws: Option<Vec<FlatWriter<'_>>> =
+            rings.as_ref().map(|rs| rs.iter().map(|r| r.writer(tier)).collect());
         // Per-(src, dst) address-package sequence numbers, counted
         // independently by sender and receiver so the checker can match
         // them up.
         let mut send_seq: Vec<Vec<u32>> = vec![vec![0; nprocs]; nprocs];
         let mut recv_seq: Vec<Vec<u32>> = vec![vec![0; nprocs]; nprocs];
-        if let Some(tr) = traces.as_mut() {
-            for t in tr.iter_mut() {
-                t.state(0, ProtoState::Setup);
+        // Scratch for package object ids (reused, no per-package alloc).
+        let mut obj_scratch: Vec<u32> = Vec::new();
+        if let Some(ws) = ws.as_mut() {
+            for w in ws.iter_mut() {
+                w.state(0, ProtoState::Setup);
             }
         }
+        // The inline streaming checker: polled between event-loop steps,
+        // finished (with the exact quiesced claim) after the loop.
+        let mut drain = (self.cfg.streaming && rings.is_some()).then(|| {
+            LiveDrain::new(StreamChecker::new(
+                self.g,
+                self.sched,
+                self.plan.trace_spec(m.capacity),
+                tier,
+            ))
+        });
 
         if !self.cfg.memory_mgmt {
             // Original RAPID: all volatile space allocated up front.
@@ -348,7 +392,14 @@ impl<'a> DesExecutor<'a> {
         let mut addr_pkgs_sent = 0usize;
         let mut suspended_ever: HashSet<u32> = HashSet::new();
 
+        let mut polled = 0u64;
         while let Some(Reverse((OrdF64(t), _, p))) = events.pop() {
+            polled += 1;
+            if polled & 63 == 0 {
+                if let (Some(d), Some(rs)) = (drain.as_mut(), rings.as_deref()) {
+                    d.poll(rs);
+                }
+            }
             let pi = p as usize;
             if procs[pi].phase == Phase::Done {
                 continue;
@@ -370,20 +421,15 @@ impl<'a> DesExecutor<'a> {
                         let mut start = 0usize;
                         for &end in segs {
                             *now += m.ra_cost;
-                            if let Some(tr) = traces.as_mut() {
+                            if let Some(ws) = ws.as_mut() {
                                 let sq = recv_seq[src][pi];
                                 recv_seq[src][pi] += 1;
-                                tr[pi].rec(
-                                    vts(*now),
-                                    Event::PkgRecv {
-                                        src: src as u32,
-                                        seq: sq,
-                                        objs: run[start..end as usize]
-                                            .iter()
-                                            .map(|e| e.obj)
-                                            .collect(),
-                                    },
-                                );
+                                if ws[pi].tier() == TraceTier::Full {
+                                    obj_scratch.clear();
+                                    obj_scratch
+                                        .extend(run[start..end as usize].iter().map(|e| e.obj));
+                                    ws[pi].pkg_recv(vts(*now), src as u32, sq, &obj_scratch);
+                                }
                             }
                             for e in &run[start..end as usize] {
                                 known.insert((src as ProcId, e.obj));
@@ -400,18 +446,18 @@ impl<'a> DesExecutor<'a> {
                 let mut still: VecDeque<u32> = VecDeque::new();
                 while let Some(mid) = procs[pi].suspended.pop_front() {
                     if self.sendable(&procs[pi].known, mid) {
-                        if let Some(tr) = traces.as_mut() {
-                            tr[pi].rec(vts(procs[pi].now), Event::CqRetry { msg: mid });
+                        if let Some(ws) = ws.as_mut() {
+                            ws[pi].cq_retry(vts(procs[pi].now), mid);
                         }
                         let arr = self.do_send(
                             &mut procs[pi].now,
                             mid,
                             m,
                             &mut pfaults[pi],
-                            traces.as_mut().map(|tr| &mut tr[pi]),
+                            ws.as_mut().map(|ws| &mut ws[pi]),
                         );
-                        if let Some(tr) = traces.as_mut() {
-                            tr[pi].rec(vts(procs[pi].now), Event::SendOk { msg: mid });
+                        if let Some(ws) = ws.as_mut() {
+                            ws[pi].send_ok(vts(procs[pi].now), mid);
                         }
                         msg_arrival[mid as usize] = Some(arr);
                         msgs_sent += 1;
@@ -428,10 +474,10 @@ impl<'a> DesExecutor<'a> {
                         if procs[pi].pending_pkgs.is_empty() && procs[pi].pos == procs[pi].next_map
                         {
                             let pos = procs[pi].pos;
-                            if let Some(tr) = traces.as_mut() {
+                            if let Some(ws) = ws.as_mut() {
                                 let ts = vts(procs[pi].now);
-                                tr[pi].state(ts, ProtoState::Map);
-                                tr[pi].rec(ts, Event::MapBegin { pos });
+                                ws[pi].state(ts, ProtoState::Map);
+                                ws[pi].map_begin(ts, pos);
                             }
                             let action = procs[pi].planner.run_map_with(
                                 self.g,
@@ -442,29 +488,15 @@ impl<'a> DesExecutor<'a> {
                             )?;
                             procs[pi].now += m.map_fixed_cost
                                 + m.alloc_cost * (action.frees.len() + action.allocs.len()) as f64;
-                            if let Some(tr) = traces.as_mut() {
+                            if let Some(ws) = ws.as_mut() {
                                 let ts = vts(procs[pi].now);
                                 // The DES places no real buffers; record
                                 // counting-only records with NO_OFFSET.
                                 for &d in &action.frees {
-                                    tr[pi].rec(
-                                        ts,
-                                        Event::Free {
-                                            obj: d.0,
-                                            units: self.g.obj_size(d),
-                                            offset: NO_OFFSET,
-                                        },
-                                    );
+                                    ws[pi].free(ts, d.0, self.g.obj_size(d), NO_OFFSET);
                                 }
                                 for &d in &action.allocs {
-                                    tr[pi].rec(
-                                        ts,
-                                        Event::Alloc {
-                                            obj: d.0,
-                                            units: self.g.obj_size(d),
-                                            offset: NO_OFFSET,
-                                        },
-                                    );
+                                    ws[pi].alloc(ts, d.0, self.g.obj_size(d), NO_OFFSET);
                                 }
                             }
                             procs[pi].next_map = action.next_map;
@@ -488,11 +520,8 @@ impl<'a> DesExecutor<'a> {
                                 // destination will wake us.
                                 if !procs[pi].busy_reported {
                                     procs[pi].busy_reported = true;
-                                    if let Some(tr) = traces.as_mut() {
-                                        tr[pi].rec(
-                                            vts(procs[pi].now),
-                                            Event::MailboxBusy { dst: dst as u32 },
-                                        );
+                                    if let Some(ws) = ws.as_mut() {
+                                        ws[pi].mailbox_busy(vts(procs[pi].now), dst as u32);
                                     }
                                 }
                                 break 'step;
@@ -506,17 +535,14 @@ impl<'a> DesExecutor<'a> {
                                 .map_or(0.0, |d| d.as_secs_f64());
                             let arrive = procs[pi].now + m.transfer_time(nobjs) + fault_lag;
                             let Some((_, objs)) = procs[pi].pending_pkgs.pop_front() else { break };
-                            if let Some(tr) = traces.as_mut() {
+                            if let Some(ws) = ws.as_mut() {
                                 let ts = vts(procs[pi].now);
                                 if fault_lag > 0.0 {
-                                    tr[pi].rec(ts, Event::Fault { site: FaultSite::MailboxDelay });
+                                    ws[pi].fault(ts, FaultSite::MailboxDelay);
                                 }
                                 let sq = send_seq[pi][dst];
                                 send_seq[pi][dst] += 1;
-                                tr[pi].rec(
-                                    ts,
-                                    Event::PkgSend { dst: dst as u32, seq: sq, objs: objs.clone() },
-                                );
+                                ws[pi].pkg_send(ts, dst as u32, sq, &objs);
                             }
                             ports[pi].set_stamp(arrive);
                             let mut pkg: AddrPackage = objs
@@ -536,15 +562,13 @@ impl<'a> DesExecutor<'a> {
                             push(&mut events, &mut seq, arrive, dst as u32);
                         }
                         if procs[pi].pending_pkgs.is_empty() {
-                            if let Some(tr) = traces.as_mut() {
-                                tr[pi].rec(
+                            if let Some(ws) = ws.as_mut() {
+                                ws[pi].map_end(
                                     vts(procs[pi].now),
-                                    Event::MapEnd {
-                                        pos: procs[pi].pos,
-                                        next_map: procs[pi].next_map,
-                                        in_use: procs[pi].planner.in_use(),
-                                        arena_high: procs[pi].planner.peak(),
-                                    },
+                                    procs[pi].pos,
+                                    procs[pi].next_map,
+                                    procs[pi].planner.in_use(),
+                                    procs[pi].planner.peak(),
                                 );
                             }
                             procs[pi].phase =
@@ -558,8 +582,8 @@ impl<'a> DesExecutor<'a> {
                     Phase::Rec => {
                         let pos = procs[pi].pos as usize;
                         let t = self.sched.order[pi][pos];
-                        if let Some(tr) = traces.as_mut() {
-                            tr[pi].state(vts(procs[pi].now), ProtoState::Rec);
+                        if let Some(ws) = ws.as_mut() {
+                            ws[pi].state(vts(procs[pi].now), ProtoState::Rec);
                         }
                         // Wait for every incoming message.
                         let mut latest = procs[pi].now;
@@ -571,10 +595,10 @@ impl<'a> DesExecutor<'a> {
                             }
                         }
                         procs[pi].now = latest;
-                        if let Some(tr) = traces.as_mut() {
+                        if let Some(ws) = ws.as_mut() {
                             let ts = vts(procs[pi].now);
                             for &mid in &self.plan.in_msgs[t.idx()] {
-                                tr[pi].rec(ts, Event::MsgRecv { msg: mid });
+                                ws[pi].msg_recv(ts, mid);
                             }
                         }
                         // EXE. Managed runs pay the address-table
@@ -583,18 +607,18 @@ impl<'a> DesExecutor<'a> {
                             let naccess = self.g.reads(t).len() + self.g.writes(t).len();
                             procs[pi].now += m.addr_lookup_cost * naccess as f64;
                         }
-                        if let Some(tr) = traces.as_mut() {
+                        if let Some(ws) = ws.as_mut() {
                             let ts = vts(procs[pi].now);
-                            tr[pi].state(ts, ProtoState::Exe);
-                            tr[pi].rec(ts, Event::TaskBegin { task: t.0, pos: pos as u32 });
+                            ws[pi].state(ts, ProtoState::Exe);
+                            ws[pi].task_begin(ts, t.0, pos as u32);
                         }
                         procs[pi].now += m.task_time(self.g.weight(t));
                         finish[t.idx()] = procs[pi].now;
                         done += 1;
-                        if let Some(tr) = traces.as_mut() {
+                        if let Some(ws) = ws.as_mut() {
                             let ts = vts(procs[pi].now);
-                            tr[pi].rec(ts, Event::TaskEnd { task: t.0 });
-                            tr[pi].state(ts, ProtoState::Snd);
+                            ws[pi].task_end(ts, t.0);
+                            ws[pi].state(ts, ProtoState::Snd);
                         }
                         // SND.
                         for &mid in &self.plan.out_msgs[t.idx()] {
@@ -604,10 +628,10 @@ impl<'a> DesExecutor<'a> {
                                     mid,
                                     m,
                                     &mut pfaults[pi],
-                                    traces.as_mut().map(|tr| &mut tr[pi]),
+                                    ws.as_mut().map(|ws| &mut ws[pi]),
                                 );
-                                if let Some(tr) = traces.as_mut() {
-                                    tr[pi].rec(vts(procs[pi].now), Event::SendOk { msg: mid });
+                                if let Some(ws) = ws.as_mut() {
+                                    ws[pi].send_ok(vts(procs[pi].now), mid);
                                 }
                                 msg_arrival[mid as usize] = Some(arr);
                                 msgs_sent += 1;
@@ -618,7 +642,7 @@ impl<'a> DesExecutor<'a> {
                                     self.plan.msgs[mid as usize].dst_proc,
                                 );
                             } else {
-                                if let Some(tr) = traces.as_mut() {
+                                if let Some(ws) = ws.as_mut() {
                                     let msg = &self.plan.msgs[mid as usize];
                                     let missing = msg
                                         .objs
@@ -628,10 +652,7 @@ impl<'a> DesExecutor<'a> {
                                                 && !procs[pi].known.contains(&(msg.dst_proc, d.0))
                                         })
                                         .map_or(u32::MAX, |d| d.0);
-                                    tr[pi].rec(
-                                        vts(procs[pi].now),
-                                        Event::SendSuspend { msg: mid, missing },
-                                    );
+                                    ws[pi].send_suspend(vts(procs[pi].now), mid, missing);
                                 }
                                 suspended_ever.insert(mid);
                                 procs[pi].suspended.push_back(mid);
@@ -655,13 +676,13 @@ impl<'a> DesExecutor<'a> {
                         break 'step;
                     }
                     Phase::End => {
-                        if let Some(tr) = traces.as_mut() {
-                            tr[pi].state(vts(procs[pi].now), ProtoState::End);
+                        if let Some(ws) = ws.as_mut() {
+                            ws[pi].state(vts(procs[pi].now), ProtoState::End);
                         }
                         if procs[pi].suspended.is_empty() {
                             procs[pi].phase = Phase::Done;
-                            if let Some(tr) = traces.as_mut() {
-                                tr[pi].state(vts(procs[pi].now), ProtoState::Done);
+                            if let Some(ws) = ws.as_mut() {
+                                ws[pi].state(vts(procs[pi].now), ProtoState::Done);
                             }
                             break 'step;
                         }
@@ -714,8 +735,15 @@ impl<'a> DesExecutor<'a> {
             return Err(ExecError::Stalled { remaining, snapshot: None });
         }
         let parallel_time = procs.iter().map(|s| s.now).fold(0.0f64, f64::max);
-        let trace = traces.map(TraceSet::new);
+        // Quiesce the writers, then decode the rings back into the typed
+        // schema (exact drop accounting via the quiesced claim).
+        drop(ws);
+        let trace = rings.as_deref().map(decode_rings);
         let metrics = trace.as_ref().map(ProcMetrics::from_traces);
+        let stream_verdict = match (drain, rings.as_deref()) {
+            (Some(d), Some(rs)) => Some(d.finish(rs)),
+            _ => None,
+        };
         Ok(DesOutcome {
             parallel_time,
             maps: procs.iter().map(|s| s.planner.maps()).collect(),
@@ -727,6 +755,7 @@ impl<'a> DesExecutor<'a> {
             finish,
             trace,
             metrics,
+            stream_verdict,
         })
     }
 
@@ -750,7 +779,7 @@ impl<'a> DesExecutor<'a> {
         mid: u32,
         m: &MachineConfig,
         f: &mut Option<ProcFaults>,
-        tr: Option<&mut ProcTrace>,
+        w: Option<&mut FlatWriter<'_>>,
     ) -> f64 {
         let msg = &self.plan.msgs[mid as usize];
         *now += m.put_overhead;
@@ -759,8 +788,8 @@ impl<'a> DesExecutor<'a> {
         }
         let fault_lag = f.as_mut().and_then(|pf| pf.put_delay()).map_or(0.0, |d| d.as_secs_f64());
         if fault_lag > 0.0 {
-            if let Some(t) = tr {
-                t.rec(vts(*now), Event::Fault { site: FaultSite::PutDelay });
+            if let Some(w) = w {
+                w.fault(vts(*now), FaultSite::PutDelay);
             }
         }
         *now + m.transfer_time(msg.units) + fault_lag

@@ -68,7 +68,10 @@ use rapid_machine::fault::{FaultPlan, FaultSite, ProcFaults};
 use rapid_machine::machine::{AggregatingMachine, DirectMachine, Machine, Port, SendOutcome};
 use rapid_machine::mailbox::AddrEntry;
 use rapid_machine::rma::{FlagBoard, RmaHeap};
-use rapid_trace::{Event, ProcMetrics, ProcTrace, ProtoState, TraceConfig, TraceSet};
+use rapid_trace::{
+    decode_ring, FlatRing, FlatWriter, LiveDrain, ProcMetrics, ProcTrace, ProtoState,
+    StreamChecker, TraceConfig, TraceReport, TraceSet, TraceTier, Violation,
+};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -208,11 +211,16 @@ pub struct ThreadedOutcome {
     /// Wall-clock duration of the parallel section.
     pub wall: Duration,
     /// Recorded event traces, when [`ThreadedExecutor::with_tracing`] was
-    /// enabled (one ring per processor).
+    /// enabled at a tier other than [`TraceTier::Off`] (one ring per
+    /// processor, decoded from the flat binary recording).
     pub trace: Option<TraceSet>,
     /// Per-processor aggregates replayed from the trace (present exactly
     /// when `trace` is).
     pub metrics: Option<Vec<ProcMetrics>>,
+    /// Verdict of the concurrent streaming checker, when
+    /// [`ThreadedExecutor::with_streaming_check`] was armed: the same
+    /// typed result the post-hoc [`rapid_trace::check`] replay produces.
+    pub stream_verdict: Option<Result<TraceReport, Violation>>,
 }
 
 /// Comm-backend selection for the threaded executor (see the module
@@ -249,6 +257,12 @@ pub struct ThreadedExecutor<'a> {
     faults: Option<FaultPlan>,
     tracing: Option<TraceConfig>,
     recovery: Option<RecoveryPolicy>,
+    streaming: bool,
+    /// Rings from the previous traced run, kept for reuse: on this
+    /// machine class a multi-MB ring allocation (mmap + munmap per run)
+    /// can cost more than the recording itself, so repeated runs on one
+    /// executor — benchmarks, feedback loops — pay for their rings once.
+    ring_pool: Mutex<Vec<FlatRing>>,
 }
 
 impl<'a> ThreadedExecutor<'a> {
@@ -273,6 +287,8 @@ impl<'a> ThreadedExecutor<'a> {
             faults: None,
             tracing: None,
             recovery: None,
+            streaming: false,
+            ring_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -284,10 +300,29 @@ impl<'a> ThreadedExecutor<'a> {
     }
 
     /// Record a per-processor event trace during the run (builder form).
-    /// Every record site is a single `Option` branch, so runs without
-    /// this call keep the untraced hot path.
+    /// Recording goes through the flat binary rings: each worker writes
+    /// fixed-width records with a single unsynchronized cursor bump, and
+    /// decodes its own ring back into the typed [`rapid_trace::Event`]
+    /// schema before its thread returns. The config's
+    /// [`TraceTier`] picks how much is captured; `TraceTier::Off`
+    /// behaves exactly like not calling this at all (no rings, no
+    /// trace in the outcome). Every record site is a single `Option`
+    /// branch, so runs without tracing keep the untraced hot path.
     pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
         self.tracing = Some(cfg);
+        self
+    }
+
+    /// Check the Theorem-1 obligations *while the run executes* (builder
+    /// form): a dedicated checker thread claims each worker's flat ring
+    /// via seqlock-style epoch claims, replays the events through the
+    /// same [`StreamChecker`] core the post-hoc [`rapid_trace::check`]
+    /// uses, and delivers its verdict in
+    /// [`ThreadedOutcome::stream_verdict`]. Requires
+    /// [`ThreadedExecutor::with_tracing`] at a tier other than
+    /// [`TraceTier::Off`]; otherwise the verdict is `None`.
+    pub fn with_streaming_check(mut self) -> Self {
+        self.streaming = true;
         self
     }
 
@@ -421,6 +456,36 @@ impl<'a> ThreadedExecutor<'a> {
         let pin_plan: Vec<Option<usize>> =
             if self.pinning { affinity::assign_cores(nprocs) } else { vec![None; nprocs] };
 
+        // Flat binary recording: one ring per worker, sized with ~25%
+        // headroom over the configured event capacity so object-list
+        // continuation records do not eat into the event budget. Rings
+        // from a previous run on this executor are reset and reused when
+        // they still fit the configuration — the allocation (a multi-MB
+        // mmap/munmap round trip at the default capacity) would otherwise
+        // dwarf the recording cost on short runs.
+        let tier = self.tracing.map_or(TraceTier::Off, |tc| tc.tier);
+        let rings: Option<Vec<FlatRing>> = (tier != TraceTier::Off).then(|| {
+            let cap = self.tracing.map_or(0, |tc| tc.capacity);
+            let want = cap + cap / 4;
+            let mut pool = match self.ring_pool.lock() {
+                Ok(mut p) => std::mem::take(&mut *p),
+                Err(_) => Vec::new(),
+            };
+            let fits = pool.len() == nprocs
+                && pool.iter().enumerate().all(|(p, r)| {
+                    r.proc == p as u32 && r.capacity_records() == FlatRing::rounded_capacity(want)
+                });
+            if fits {
+                for r in &mut pool {
+                    r.reset();
+                }
+                pool
+            } else {
+                (0..nprocs).map(|p| FlatRing::new(p as u32, want)).collect()
+            }
+        });
+        let rings_ref: Option<&[FlatRing]> = rings.as_deref();
+
         let epoch = Instant::now();
         let shared = Shared {
             g,
@@ -436,7 +501,8 @@ impl<'a> ThreadedExecutor<'a> {
             poison: &poison,
             watchdog: self.watchdog,
             faults: self.faults.as_ref(),
-            tracing: self.tracing,
+            rings: rings_ref,
+            tier,
             recovery: self.recovery,
             recov: &recov,
             epoch,
@@ -456,10 +522,32 @@ impl<'a> ThreadedExecutor<'a> {
         };
         let fail = &fail;
 
-        let per_proc: Vec<(u32, u64, u64, Option<ProcTrace>)> = std::thread::scope(|scope| {
+        // Quiesce signal for the streaming checker: raised after every
+        // worker has joined, so its final drain sees quiesced rings.
+        let quiesced = AtomicBool::new(false);
+        let quiesced = &quiesced;
+
+        type PerProc = (u32, u64, u64, Option<(ProcTrace, ProcMetrics)>);
+        let (per_proc, stream_verdict): (Vec<PerProc>, _) = std::thread::scope(|scope| {
+            let checker = match (self.streaming, rings_ref) {
+                (true, Some(rs)) => Some(scope.spawn(move || {
+                    let spec = self.plan.trace_spec(self.capacity);
+                    let mut drain = LiveDrain::new(StreamChecker::new(g, sched, spec, tier));
+                    while !quiesced.load(AtOrd::Acquire) {
+                        if !drain.poll(rs) {
+                            // Idle: nothing new published. Sleep rather
+                            // than spin so the checker core does not
+                            // perturb the measured run.
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                    drain.finish(rs)
+                })),
+                _ => None,
+            };
             let handles: Vec<_> =
                 (0..nprocs).map(|p| scope.spawn(move || worker(p, shared, fail))).collect();
-            handles
+            let per_proc = handles
                 .into_iter()
                 .enumerate()
                 .map(|(p, h)| {
@@ -476,7 +564,20 @@ impl<'a> ThreadedExecutor<'a> {
                         (0, 0, 0, None)
                     })
                 })
-                .collect()
+                .collect();
+            quiesced.store(true, AtOrd::Release);
+            let verdict = checker.and_then(|h| match h.join() {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    fail(ExecError::WorkerPanicked {
+                        proc: nprocs as u32,
+                        task: None,
+                        payload: panic_payload_str(payload.as_ref()),
+                    });
+                    None
+                }
+            });
+            (per_proc, verdict)
         });
         let wall = epoch.elapsed();
 
@@ -501,17 +602,44 @@ impl<'a> ThreadedExecutor<'a> {
         let maps = per_proc.iter().map(|&(m, _, _, _)| m).collect();
         let peak_mem = per_proc.iter().map(|&(_, pk, _, _)| pk).collect();
         let arena_peak = per_proc.iter().map(|&(_, _, ap, _)| ap).collect();
-        let trace = self.tracing.map(|tc| {
-            let procs: Vec<ProcTrace> = per_proc
-                .into_iter()
-                .enumerate()
-                .map(|(p, (_, _, _, t))| t.unwrap_or_else(|| ProcTrace::new(p as u32, tc)))
-                .collect();
-            TraceSet::new(procs)
-        });
-        let metrics = trace.as_ref().map(ProcMetrics::from_traces);
+        // Each worker decoded its own ring (and aggregated its metrics)
+        // in parallel before its thread returned; a worker that died
+        // without reporting still left its ring behind, so decode it
+        // here.
+        let (trace, metrics) = match &rings {
+            Some(rs) => {
+                let mut procs = Vec::with_capacity(nprocs);
+                let mut ms = Vec::with_capacity(nprocs);
+                for (p, (_, _, _, t)) in per_proc.into_iter().enumerate() {
+                    let (t, m) = t.unwrap_or_else(|| {
+                        let t = decode_ring(&rs[p]);
+                        let m = ProcMetrics::from_trace(&t);
+                        (t, m)
+                    });
+                    procs.push(t);
+                    ms.push(m);
+                }
+                (Some(TraceSet::new(procs)), Some(ms))
+            }
+            None => (None, None),
+        };
 
-        Ok(ThreadedOutcome { maps, peak_mem, arena_peak, objects, wall, trace, metrics })
+        // Park the rings for the next run on this executor (skipped if
+        // the pool lock was poisoned — the next run simply reallocates).
+        if let (Some(rs), Ok(mut pool)) = (rings, self.ring_pool.lock()) {
+            *pool = rs;
+        }
+
+        Ok(ThreadedOutcome {
+            maps,
+            peak_mem,
+            arena_peak,
+            objects,
+            wall,
+            trace,
+            metrics,
+            stream_verdict,
+        })
     }
 }
 
@@ -584,7 +712,10 @@ struct Shared<'e, F, I, M> {
     poison: &'e AtomicBool,
     watchdog: Duration,
     faults: Option<&'e FaultPlan>,
-    tracing: Option<TraceConfig>,
+    /// Flat recording rings, one per worker (`None` when tracing is off).
+    rings: Option<&'e [FlatRing]>,
+    /// Sampling tier the rings record at.
+    tier: TraceTier,
     recovery: Option<RecoveryPolicy>,
     recov: &'e RecovBoard,
     /// Epoch of the parallel section; trace timestamps are nanoseconds
@@ -639,25 +770,148 @@ impl RecovBoard {
     }
 }
 
-/// Worker-owned tracer: the per-processor event ring plus the run epoch
-/// its timestamps are relative to. Wrapped in `Option` everywhere it is
-/// consulted, so the untraced hot path pays one predictable branch.
-struct Tr {
-    t: ProcTrace,
+/// Worker-owned tracer: the flat binary writer over this processor's
+/// ring, plus the run epoch its timestamps are relative to. Wrapped in
+/// `Option` everywhere it is consulted, so the untraced hot path pays
+/// one predictable branch.
+///
+/// The clock is *cached*: only protocol-state transitions, MAP
+/// boundaries and rollbacks always refresh it (`Instant::elapsed` is a
+/// few tens of ns — comparable to the flat record write itself, and
+/// much more than that inside a VM). Task boundaries and message
+/// receipts refresh only at [`TraceTier::Full`], where per-task
+/// timeline spans are worth the clock reads; at Skeleton they reuse the
+/// last refreshed timestamp. High-frequency noise records (alloc/free
+/// waves, package traffic, CQ retries, fault markers) always reuse it.
+/// The dwell metrics depend only on state transitions, and the checker
+/// ignores timestamps entirely, so the cache never changes a verdict.
+struct Tr<'e> {
+    w: FlatWriter<'e>,
+    ring: &'e FlatRing,
     t0: Instant,
+    last_ts: u64,
 }
 
-impl Tr {
+impl<'e> Tr<'e> {
+    fn new(ring: &'e FlatRing, tier: TraceTier, t0: Instant) -> Self {
+        Tr { w: ring.writer(tier), ring, t0, last_ts: 0 }
+    }
+
+    /// Refresh and return the cached timestamp.
     #[inline]
-    fn rec(&mut self, ev: Event) {
-        let ts = self.t0.elapsed().as_nanos() as u64;
-        self.t.rec(ts, ev);
+    fn now(&mut self) -> u64 {
+        self.last_ts = self.t0.elapsed().as_nanos() as u64;
+        self.last_ts
+    }
+
+    /// Does the tier record the Full-only events? Callers skip argument
+    /// preparation (object-id collection) when it does not.
+    #[inline]
+    fn full(&self) -> bool {
+        self.w.tier() == TraceTier::Full
     }
 
     #[inline]
     fn state(&mut self, s: ProtoState) {
-        let ts = self.t0.elapsed().as_nanos() as u64;
-        self.t.state(ts, s);
+        let ts = self.now();
+        self.w.state(ts, s);
+    }
+
+    #[inline]
+    fn map_begin(&mut self, pos: u32) {
+        let ts = self.now();
+        self.w.map_begin(ts, pos);
+    }
+
+    #[inline]
+    fn map_end(&mut self, pos: u32, next_map: u32, in_use: u64, arena_high: u64) {
+        let ts = self.now();
+        self.w.map_end(ts, pos, next_map, in_use, arena_high);
+    }
+
+    #[inline]
+    fn free(&mut self, obj: u32, units: u64, offset: u64) {
+        self.w.free(self.last_ts, obj, units, offset);
+    }
+
+    #[inline]
+    fn alloc(&mut self, obj: u32, units: u64, offset: u64) {
+        self.w.alloc(self.last_ts, obj, units, offset);
+    }
+
+    #[inline]
+    fn alloc_rollback(&mut self, obj: u32, units: u64) {
+        self.w.alloc_rollback(self.last_ts, obj, units);
+    }
+
+    #[inline]
+    fn window_rollback(&mut self, pos: u32, attempt: u32) {
+        let ts = self.now();
+        self.w.window_rollback(ts, pos, attempt);
+    }
+
+    #[inline]
+    fn pkg_send(&mut self, dst: u32, seq: u32, objs: &[u32]) {
+        self.w.pkg_send(self.last_ts, dst, seq, objs);
+    }
+
+    #[inline]
+    fn pkg_recv(&mut self, src: u32, seq: u32, objs: &[u32]) {
+        self.w.pkg_recv(self.last_ts, src, seq, objs);
+    }
+
+    #[inline]
+    fn mailbox_busy(&mut self, dst: u32) {
+        self.w.mailbox_busy(self.last_ts, dst);
+    }
+
+    #[inline]
+    fn send_ok(&mut self, msg: u32) {
+        self.w.send_ok(self.last_ts, msg);
+    }
+
+    #[inline]
+    fn send_suspend(&mut self, msg: u32, missing: u32) {
+        self.w.send_suspend(self.last_ts, msg, missing);
+    }
+
+    #[inline]
+    fn cq_retry(&mut self, msg: u32) {
+        self.w.cq_retry(self.last_ts, msg);
+    }
+
+    #[inline]
+    fn msg_recv(&mut self, msg: u32) {
+        let ts = if self.full() { self.now() } else { self.last_ts };
+        self.w.msg_recv(ts, msg);
+    }
+
+    #[inline]
+    fn task_begin(&mut self, task: u32, pos: u32) {
+        let ts = if self.full() { self.now() } else { self.last_ts };
+        self.w.task_begin(ts, task, pos);
+    }
+
+    #[inline]
+    fn task_end(&mut self, task: u32) {
+        let ts = if self.full() { self.now() } else { self.last_ts };
+        self.w.task_end(ts, task);
+    }
+
+    #[inline]
+    fn fault(&mut self, site: FaultSite) {
+        self.w.fault(self.last_ts, site);
+    }
+
+    /// Decode this worker's quiesced ring into the typed trace and its
+    /// aggregate metrics. Runs on the worker's own thread so the decode
+    /// work of all processors proceeds in parallel.
+    fn finish(self) -> (ProcTrace, ProcMetrics) {
+        // Consuming `self` retires the writer; the ring is quiesced.
+        let Tr { ring, .. } = self;
+        let t = decode_ring(ring);
+        let m = ProcMetrics::from_trace(&t);
+        (t, m)
     }
 }
 
@@ -735,7 +989,10 @@ struct Net<'e, P: Port> {
     /// enable one ([`ThreadedExecutor::with_faults`]).
     faults: Option<ProcFaults>,
     /// Event recorder, when [`ThreadedExecutor::with_tracing`] is on.
-    tr: Option<Tr>,
+    tr: Option<Tr<'e>>,
+    /// Scratch object-id list for Full-tier `PkgRecv` records (reused,
+    /// no allocation in steady state).
+    obj_scratch: Vec<u32>,
     /// `pkg_send_seq[dst]`: address packages deposited toward `dst` so
     /// far (trace sequence numbers; only maintained while tracing).
     pkg_send_seq: Vec<u32>,
@@ -781,6 +1038,7 @@ impl<'e, P: Port> Net<'e, P> {
             suspended: 0,
             faults: sh.faults.map(|f| f.for_proc(p)),
             tr: None,
+            obj_scratch: Vec::new(),
             pkg_send_seq: vec![0; nprocs],
             pkg_recv_seq: vec![0; nprocs],
             sent: Vec::new(),
@@ -810,7 +1068,7 @@ impl<'e, P: Port> Net<'e, P> {
         if let Some(f) = self.faults.as_mut() {
             if let Some(d) = f.put_delay() {
                 if let Some(tr) = self.tr.as_mut() {
-                    tr.rec(Event::Fault { site: FaultSite::PutDelay });
+                    tr.fault(FaultSite::PutDelay);
                 }
                 std::thread::sleep(d);
             }
@@ -833,7 +1091,7 @@ impl<'e, P: Port> Net<'e, P> {
             *s = true;
         }
         if let Some(tr) = self.tr.as_mut() {
-            tr.rec(Event::SendOk { msg: mid });
+            tr.send_ok(mid);
         }
         Ok(())
     }
@@ -847,7 +1105,7 @@ impl<'e, P: Port> Net<'e, P> {
         }
         if let Err(missing) = self.try_send(mid) {
             if let Some(tr) = self.tr.as_mut() {
-                tr.rec(Event::SendSuspend { msg: mid, missing });
+                tr.send_suspend(mid, missing);
             }
             self.waiters[missing as usize].push(mid);
             self.suspended += 1;
@@ -868,6 +1126,7 @@ impl<'e, P: Port> Net<'e, P> {
         let woken = &mut self.woken;
         let tr = &mut self.tr;
         let recv_seq = &mut self.pkg_recv_seq;
+        let scratch = &mut self.obj_scratch;
         let drained = self.port.drain_batched(|src, entries, seg_ends| {
             let base = src * nobj;
             for e in entries {
@@ -877,15 +1136,18 @@ impl<'e, P: Port> Net<'e, P> {
             if let Some(tr) = tr.as_mut() {
                 // One PkgRecv per *logical* package: a physical batch
                 // replays exactly like the unbatched package sequence.
+                // PkgRecv is a Full-only record; at Skeleton only the
+                // sequence numbers advance (the send side carries them).
+                let full = tr.full();
                 let mut start = 0usize;
                 for &end in seg_ends {
                     let seq = recv_seq[src];
                     recv_seq[src] = seq + 1;
-                    tr.rec(Event::PkgRecv {
-                        src: src as u32,
-                        seq,
-                        objs: entries[start..end as usize].iter().map(|e| e.obj).collect(),
-                    });
+                    if full {
+                        scratch.clear();
+                        scratch.extend(entries[start..end as usize].iter().map(|e| e.obj));
+                        tr.pkg_recv(src as u32, seq, scratch);
+                    }
                     start = end as usize;
                 }
             }
@@ -896,7 +1158,7 @@ impl<'e, P: Port> Net<'e, P> {
         }
         while let Some(mid) = self.woken.pop() {
             if let Some(tr) = self.tr.as_mut() {
-                tr.rec(Event::CqRetry { msg: mid });
+                tr.cq_retry(mid);
             }
             match self.try_send(mid) {
                 Ok(()) => {
@@ -911,12 +1173,15 @@ impl<'e, P: Port> Net<'e, P> {
     }
 }
 
-/// Per-thread worker: returns `(maps, peak_units, arena_peak, trace)`.
+/// Per-thread worker: returns `(maps, peak_units, arena_peak, trace)`,
+/// the trace already decoded from this worker's flat ring (with its
+/// aggregate metrics) so the decode work runs in parallel across
+/// workers.
 fn worker<F, I, M>(
     p: usize,
     sh: &Shared<'_, F, I, M>,
     fail: &(impl Fn(ExecError) + Sync),
-) -> (u32, u64, u64, Option<ProcTrace>)
+) -> (u32, u64, u64, Option<(ProcTrace, ProcMetrics)>)
 where
     F: Fn(TaskId, &mut TaskCtx<'_>) + Sync,
     I: Fn(ObjId, &mut [f64]) + Sync,
@@ -934,7 +1199,7 @@ where
         let _ = affinity::pin_current_thread(cpu);
     }
 
-    let mut tr = sh.tracing.map(|cfg| Tr { t: ProcTrace::new(p as u32, cfg), t0: sh.epoch });
+    let mut tr = sh.rings.map(|rs| Tr::new(&rs[p], sh.tier, sh.epoch));
     if let Some(tr) = tr.as_mut() {
         tr.state(ProtoState::Setup);
     }
@@ -959,7 +1224,7 @@ where
                         needed: plan.perm_units[p],
                         capacity: sh.capacity,
                     });
-                    return (0, 0, arena.peak(), tr.map(|t| t.t));
+                    return (0, 0, arena.peak(), tr.map(Tr::finish));
                 }
             }
         }
@@ -973,8 +1238,11 @@ where
     let mut ctx_reads: Vec<(u32, &[f64])> = Vec::new();
     let mut ctx_writes: Vec<(u32, &mut [f64])> = Vec::new();
     let mut slots = vec![NO_SLOT; g.num_objects()];
-    // Reusable address-package buffer for MAP notifications.
+    // Reusable address-package buffer for MAP notifications, plus the
+    // object-id shadow the tracer records after the (buffer-consuming)
+    // hand-off completes.
     let mut pkg_buf: Vec<AddrEntry> = Vec::new();
+    let mut pkg_ids: Vec<u32> = Vec::new();
 
     let order = &sched.order[p];
     let mut pos: u32 = 0;
@@ -999,7 +1267,7 @@ where
 
     macro_rules! bail {
         () => {
-            return (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(|t| t.t))
+            return (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(Tr::finish))
         };
     }
 
@@ -1017,7 +1285,7 @@ where
                         snapshot: Some(Box::new(build_snapshot(
                             p,
                             sh,
-                            net.tr.as_ref().map(|t| &t.t),
+                            net.tr.as_ref().map(|t| t.ring),
                         ))),
                     });
                     bail!();
@@ -1038,7 +1306,7 @@ where
             sh.state.publish(p, WorkerState::Map, pos, net.suspended as u32);
             if let Some(tr) = net.tr.as_mut() {
                 tr.state(ProtoState::Map);
-                tr.rec(Event::MapBegin { pos });
+                tr.map_begin(pos);
             }
             let mut action = match planner.run_map(g, sched, plan, pos) {
                 Ok(a) => a,
@@ -1065,7 +1333,7 @@ where
                     bail!();
                 }
                 if let Some(tr) = net.tr.as_mut() {
-                    tr.rec(Event::Free { obj: d.0, units: g.obj_size(*d), offset: off });
+                    tr.free(d.0, g.obj_size(*d), off);
                 }
             }
             // Place the planned allocations in the real arena. The
@@ -1091,7 +1359,7 @@ where
                         let injected = net.faults.as_mut().is_some_and(|f| f.alloc_fails());
                         if injected {
                             if let Some(tr) = net.tr.as_mut() {
-                                tr.rec(Event::Fault { site: FaultSite::AllocFail });
+                                tr.fault(FaultSite::AllocFail);
                             }
                         } else {
                             match arena.alloc(size) {
@@ -1124,7 +1392,7 @@ where
                         Some(off) => {
                             net.local[d.idx()] = off;
                             if let Some(tr) = net.tr.as_mut() {
-                                tr.rec(Event::Alloc { obj: d.0, units: size, offset: off });
+                                tr.alloc(d.0, size, off);
                             }
                         }
                         None if action.alloc_pos[ai] == pos => {
@@ -1180,11 +1448,11 @@ where
                                 bail!();
                             }
                             if let Some(tr) = net.tr.as_mut() {
-                                tr.rec(Event::AllocRollback { obj: dd.0, units: g.obj_size(dd) });
+                                tr.alloc_rollback(dd.0, g.obj_size(dd));
                             }
                         }
                         if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::WindowRollback { pos, attempt: window_attempts });
+                            tr.window_rollback(pos, window_attempts);
                         }
                         sh.recov.note(p, true, pos, window_attempts);
                         // One service round between attempts: an injected
@@ -1231,12 +1499,15 @@ where
                     pkg_buf.push(AddrEntry { obj: n.obj, offset: n.offset });
                     i += 1;
                 }
-                let pkg_objs: Option<Vec<u32>> =
-                    net.tr.as_ref().map(|_| pkg_buf.iter().map(|e| e.obj).collect());
+                let tracing_pkg = net.tr.is_some();
+                if tracing_pkg {
+                    pkg_ids.clear();
+                    pkg_ids.extend(pkg_buf.iter().map(|e| e.obj));
+                }
                 if let Some(f) = net.faults.as_mut() {
                     if let Some(delay) = f.mailbox_delay() {
                         if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::Fault { site: FaultSite::MailboxDelay });
+                            tr.fault(FaultSite::MailboxDelay);
                         }
                         std::thread::sleep(delay);
                     }
@@ -1248,7 +1519,7 @@ where
                     let rejected = net.faults.as_mut().is_some_and(|f| f.mailbox_reject());
                     if rejected {
                         if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::Fault { site: FaultSite::MailboxReject });
+                            tr.fault(FaultSite::MailboxReject);
                         }
                     } else {
                         // Delivered and Buffered both complete the logical
@@ -1263,18 +1534,18 @@ where
                     if !reported_busy {
                         reported_busy = true;
                         if let Some(tr) = net.tr.as_mut() {
-                            tr.rec(Event::MailboxBusy { dst });
+                            tr.mailbox_busy(dst);
                         }
                     }
                     // Blocked in MAP: keep servicing RA/CQ so the system
                     // keeps evolving (Theorem 1).
                     spin_service!();
                 }
-                if let Some(objs) = pkg_objs {
+                if tracing_pkg {
                     let seq = net.pkg_send_seq[dst as usize];
                     net.pkg_send_seq[dst as usize] = seq + 1;
                     if let Some(tr) = net.tr.as_mut() {
-                        tr.rec(Event::PkgSend { dst, seq, objs });
+                        tr.pkg_send(dst, seq, &pkg_ids);
                     }
                 }
                 pacer.mark();
@@ -1289,12 +1560,7 @@ where
                 net.port.flush();
             }
             if let Some(tr) = net.tr.as_mut() {
-                tr.rec(Event::MapEnd {
-                    pos,
-                    next_map,
-                    in_use: planner.in_use(),
-                    arena_high: arena.peak(),
-                });
+                tr.map_end(pos, next_map, planner.in_use(), arena.peak());
             }
             // Photograph the window's write set before any of its tasks
             // run: bodies may read-modify-write their local permanents,
@@ -1338,7 +1604,7 @@ where
         for &mid in &plan.in_msgs[t.idx()] {
             if flags.is_raised(mid as usize) {
                 if let Some(tr) = net.tr.as_mut() {
-                    tr.rec(Event::MsgRecv { msg: mid });
+                    tr.msg_recv(mid);
                 }
                 continue; // fast path: already arrived
             }
@@ -1346,7 +1612,7 @@ where
                 spin_service!();
             }
             if let Some(tr) = net.tr.as_mut() {
-                tr.rec(Event::MsgRecv { msg: mid });
+                tr.msg_recv(mid);
             }
             pacer.mark();
         }
@@ -1361,7 +1627,7 @@ where
             if let Some(f) = net.faults.as_mut() {
                 if let Some(stall) = f.task_jitter() {
                     if let Some(tr) = net.tr.as_mut() {
-                        tr.rec(Event::Fault { site: FaultSite::TaskJitter });
+                        tr.fault(FaultSite::TaskJitter);
                     }
                     std::thread::sleep(stall);
                 }
@@ -1393,7 +1659,7 @@ where
                 std::mem::take(&mut slots),
             );
             if let Some(tr) = net.tr.as_mut() {
-                tr.rec(Event::TaskBegin { task: t.0, pos });
+                tr.task_begin(t.0, pos);
             }
             // A panicking body must not abort the process: catch it at the
             // task boundary, poison the run, and let every worker exit
@@ -1451,7 +1717,7 @@ where
                         .copy_from_slice(&ckpt_data[start..start + len as usize]);
                 }
                 if let Some(tr) = net.tr.as_mut() {
-                    tr.rec(Event::WindowRollback { pos: window_start, attempt: window_attempts });
+                    tr.window_rollback(window_start, window_attempts);
                 }
                 sh.recov.note(p, false, window_start, window_attempts);
                 pos = window_start;
@@ -1459,7 +1725,7 @@ where
                 continue;
             }
             if let Some(tr) = net.tr.as_mut() {
-                tr.rec(Event::TaskEnd { task: t.0 });
+                tr.task_end(t.0);
             }
         }
 
@@ -1494,7 +1760,7 @@ where
     if let Some(tr) = net.tr.as_mut() {
         tr.state(ProtoState::Done);
     }
-    (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(|t| t.t))
+    (planner.maps(), planner.peak(), arena.peak(), net.tr.take().map(Tr::finish))
 }
 
 /// Assemble the stall diagnostic from the shared introspection surfaces:
@@ -1506,8 +1772,12 @@ where
 fn build_snapshot<F, I, M: Machine>(
     reporter: usize,
     sh: &Shared<'_, F, I, M>,
-    trace: Option<&ProcTrace>,
+    ring: Option<&FlatRing>,
 ) -> StallSnapshot {
+    // The reporter's own writer is idle while it builds this snapshot,
+    // so decoding its ring here (rare path: watchdog expiry only) sees a
+    // quiesced ring.
+    let trace: Option<ProcTrace> = ring.map(decode_ring);
     let nprocs = sh.sched.assign.nprocs;
     let board = sh.machine.board();
     let procs = (0..nprocs)
@@ -1533,6 +1803,7 @@ fn build_snapshot<F, I, M: Machine>(
         })
         .collect();
     let recent_events = trace
+        .as_ref()
         .map(|t| {
             t.tail(16)
                 .into_iter()

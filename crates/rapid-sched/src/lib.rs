@@ -30,6 +30,7 @@
 pub mod assign;
 pub mod dsc;
 pub mod dts;
+pub mod feedback;
 pub mod heapsim;
 pub mod mpo;
 pub mod parallel;
@@ -43,6 +44,7 @@ pub use dts::{
     dts_order_with_blevel, merge_slices, merge_slices_from_h, merge_slices_reference, slice_h,
     slice_h_par,
 };
+pub use feedback::{apply_moves, feedback_plan, FeedbackConfig, FeedbackPlan, ObjMove};
 pub use mpo::{mpo_order, mpo_order_reference, mpo_order_with_blevel};
 pub use parallel::{plan_parallel, PlanPolicy};
 pub use rapid_core::schedule::Assignment;

@@ -38,11 +38,11 @@
 //! matching of (2) — exactly what a distributed trace can promise
 //! without a global clock.
 
-use crate::event::{Event, ProcTrace, ProtoState, TraceSet, NO_OFFSET};
-use rapid_core::graph::{ObjId, TaskGraph};
-use rapid_core::liveness::Liveness;
+use crate::event::{Event, ProcTrace, ProtoState, TraceSet, TraceTier};
+use crate::stream::StreamChecker;
+use rapid_core::graph::TaskGraph;
 use rapid_core::schedule::Schedule;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::HashSet;
 
 /// One message of the protocol plan, in plain data form (so the checker
 /// does not depend on the runtime crate; the runtime provides a
@@ -322,7 +322,7 @@ impl std::fmt::Display for Violation {
 impl std::error::Error for Violation {}
 
 /// What a clean replay established.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceReport {
     /// Tasks executed per processor.
     pub tasks_run: Vec<usize>,
@@ -337,292 +337,45 @@ pub struct TraceReport {
 /// Replay `traces` against the schedule and protocol spec, asserting the
 /// Theorem-1 obligations. Returns the first violation found, or a
 /// [`TraceReport`] summarizing the clean replay.
+///
+/// This is a thin wrapper over [`StreamChecker`]: the events are fed
+/// through the same incremental replay the live streaming checker runs,
+/// so a post-hoc verdict and a streaming verdict can never diverge. The
+/// trace is assumed Full-tier; for traces recorded at a reduced tier use
+/// [`check_tier`], which relaxes exactly the obligations the tier cannot
+/// witness.
 pub fn check(
     g: &TaskGraph,
     sched: &Schedule,
     spec: &ProtocolSpec,
     traces: &TraceSet,
 ) -> Result<TraceReport, Violation> {
-    let lv = Liveness::analyze(g, sched);
-    let mut tasks_run = vec![0usize; spec.nprocs];
-    let mut peak_mem = vec![0u64; spec.nprocs];
-    let mut maps = vec![0u32; spec.nprocs];
-    // Cross-processor tables, filled during the per-processor replays.
-    let mut pkg_sends: HashMap<(u32, u32), Vec<Vec<u32>>> = HashMap::new();
-    let mut pkg_recvs: HashMap<(u32, u32), Vec<Vec<u32>>> = HashMap::new();
-    let mut msgs_sent: HashSet<u32> = HashSet::new();
-    let mut msgs_recvd: HashSet<u32> = HashSet::new();
+    check_tier(g, sched, spec, traces, TraceTier::Full)
+}
 
+/// [`check`] for a trace recorded at an explicit sampling tier. At
+/// [`TraceTier::Skeleton`] the receive-side package drains are
+/// legitimately absent, so the write-before-address obligation and the
+/// at-most-one-in-flight mailbox bound are skipped; every other
+/// obligation is asserted unchanged.
+pub fn check_tier(
+    g: &TaskGraph,
+    sched: &Schedule,
+    spec: &ProtocolSpec,
+    traces: &TraceSet,
+    tier: TraceTier,
+) -> Result<TraceReport, Violation> {
+    let mut sc = StreamChecker::new(g, sched, spec.clone(), tier);
     for trace in &traces.procs {
-        let p = trace.proc;
         if trace.dropped() > 0 {
-            return Err(Violation::Incomplete { proc: p, dropped: trace.dropped() });
-        }
-        let pl = &lv.procs[p as usize];
-        let order = &sched.order[p as usize];
-
-        // Per-processor replay state.
-        let mut state: Option<ProtoState> = None;
-        let mut in_use = spec.perm_units[p as usize];
-        let mut peak = in_use;
-        let mut live: HashSet<u32> = HashSet::new();
-        let mut ever_freed: HashSet<u32> = HashSet::new();
-        // offset -> (len, obj) for live buffers with real offsets.
-        let mut placed: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
-        let mut known: HashSet<(u32, u32)> = HashSet::new(); // (dst proc, obj)
-        let mut recvd: HashSet<u32> = HashSet::new(); // msg ids observed in REC
-        let mut cur_map_pos: Option<u32> = None;
-        let mut next_task = 0usize;
-
-        for (_, ev) in trace.iter() {
-            match ev {
-                Event::State(s) => {
-                    if let Some(prev) = state {
-                        if !prev.may_precede(*s) {
-                            return Err(Violation::IllegalTransition {
-                                proc: p,
-                                from: prev,
-                                to: *s,
-                            });
-                        }
-                    }
-                    state = Some(*s);
-                }
-                Event::MapBegin { pos } => {
-                    cur_map_pos = Some(*pos);
-                    maps[p as usize] += 1;
-                }
-                Event::Free { obj, units, offset } => {
-                    if !live.remove(obj) {
-                        return Err(Violation::DoubleFree { proc: p, obj: *obj });
-                    }
-                    if let Ok(k) = pl.volatile.binary_search(&ObjId(*obj)) {
-                        let (_, last) = pl.volatile_span[k];
-                        let map_pos = cur_map_pos.unwrap_or(0);
-                        if map_pos <= last {
-                            return Err(Violation::FreeBeforeLastUse {
-                                proc: p,
-                                obj: *obj,
-                                map_pos,
-                                last_use: last,
-                            });
-                        }
-                    }
-                    ever_freed.insert(*obj);
-                    in_use = in_use.saturating_sub(*units);
-                    if *offset != NO_OFFSET {
-                        placed.remove(offset);
-                    }
-                }
-                Event::Alloc { obj, units, offset } => {
-                    if live.contains(obj) || ever_freed.contains(obj) {
-                        return Err(Violation::DoubleAlloc { proc: p, obj: *obj });
-                    }
-                    live.insert(*obj);
-                    in_use += units;
-                    peak = peak.max(in_use);
-                    if in_use > spec.capacity {
-                        return Err(Violation::CapExceeded {
-                            proc: p,
-                            in_use,
-                            capacity: spec.capacity,
-                        });
-                    }
-                    if *offset != NO_OFFSET {
-                        // Overlap iff a live range starts inside ours or
-                        // the predecessor range reaches into us.
-                        let end = offset + units;
-                        if let Some((&o, &(_, other))) = placed.range(*offset..end).next() {
-                            let _ = o;
-                            return Err(Violation::OverlappingAlloc { proc: p, obj: *obj, other });
-                        }
-                        if let Some((&o, &(len, other))) = placed.range(..*offset).next_back() {
-                            if o + len > *offset {
-                                return Err(Violation::OverlappingAlloc {
-                                    proc: p,
-                                    obj: *obj,
-                                    other,
-                                });
-                            }
-                        }
-                        placed.insert(*offset, (*units, *obj));
-                    }
-                }
-                Event::AllocRollback { obj, units } => {
-                    if !live.remove(obj) {
-                        return Err(Violation::DoubleFree { proc: p, obj: *obj });
-                    }
-                    in_use = in_use.saturating_sub(*units);
-                    placed.retain(|_, &mut (_, o)| o != *obj);
-                }
-                Event::MapEnd { pos, in_use: reported, .. } => {
-                    if *reported != in_use {
-                        return Err(Violation::AccountingMismatch {
-                            proc: p,
-                            map_pos: *pos,
-                            reported: *reported,
-                            replayed: in_use,
-                        });
-                    }
-                    cur_map_pos = None;
-                }
-                Event::PkgSend { dst, seq, objs } => {
-                    let sends = pkg_sends.entry((p, *dst)).or_default();
-                    if *seq as usize != sends.len() {
-                        return Err(Violation::MailboxClobber {
-                            src: p,
-                            dst: *dst,
-                            seq: *seq,
-                            detail: format!("send seq {seq} but {} sends recorded", sends.len()),
-                        });
-                    }
-                    sends.push(objs.clone());
-                }
-                Event::PkgRecv { src, seq, objs } => {
-                    let recvs = pkg_recvs.entry((*src, p)).or_default();
-                    if *seq as usize != recvs.len() {
-                        return Err(Violation::MailboxClobber {
-                            src: *src,
-                            dst: p,
-                            seq: *seq,
-                            detail: format!("recv seq {seq} but {} recvs recorded", recvs.len()),
-                        });
-                    }
-                    recvs.push(objs.clone());
-                    for obj in objs {
-                        known.insert((*src, *obj));
-                    }
-                }
-                Event::SendOk { msg } => {
-                    let m =
-                        spec.msgs.get(*msg as usize).ok_or_else(|| Violation::PhantomMessage {
-                            msg: *msg,
-                            detail: "message id outside the protocol plan".into(),
-                        })?;
-                    if m.src_proc != p {
-                        return Err(Violation::PhantomMessage {
-                            msg: *msg,
-                            detail: format!("sent by P{p} but planned from P{}", m.src_proc),
-                        });
-                    }
-                    for &obj in &m.objs {
-                        let permanent = sched.assign.owner_of(ObjId(obj)) == m.dst_proc;
-                        if !permanent && !known.contains(&(m.dst_proc, obj)) {
-                            return Err(Violation::WriteBeforeAddress { proc: p, msg: *msg, obj });
-                        }
-                    }
-                    msgs_sent.insert(*msg);
-                }
-                Event::SendSuspend { .. } | Event::CqRetry { .. } => {}
-                Event::MsgRecv { msg } => {
-                    match spec.msgs.get(*msg as usize) {
-                        Some(m) if m.dst_proc == p => {}
-                        Some(m) => {
-                            return Err(Violation::PhantomMessage {
-                                msg: *msg,
-                                detail: format!(
-                                    "observed on P{p} but destined for P{}",
-                                    m.dst_proc
-                                ),
-                            })
-                        }
-                        None => {
-                            return Err(Violation::PhantomMessage {
-                                msg: *msg,
-                                detail: "message id outside the protocol plan".into(),
-                            })
-                        }
-                    }
-                    recvd.insert(*msg);
-                    msgs_recvd.insert(*msg);
-                }
-                Event::TaskBegin { task, .. } => {
-                    match order.get(next_task) {
-                        Some(t) if t.0 == *task => {}
-                        other => {
-                            return Err(Violation::OrderViolation {
-                                proc: p,
-                                got: *task,
-                                expected: other.map_or(u32::MAX, |t| t.0),
-                            })
-                        }
-                    }
-                    for &mid in &spec.in_msgs[*task as usize] {
-                        if !recvd.contains(&mid) {
-                            return Err(Violation::MissingRecv { proc: p, task: *task, msg: mid });
-                        }
-                    }
-                    next_task += 1;
-                }
-                Event::WindowRollback { pos, .. } => {
-                    // Recovery rewind: the window starting at `pos` was
-                    // abandoned and will re-execute. Rewind the schedule
-                    // cursor and forget the protocol state (the worker
-                    // legally re-enters REC or stays in MAP); received
-                    // messages stay received — arrival flags survive a
-                    // rollback by design.
-                    next_task = (*pos as usize).min(next_task);
-                    state = None;
-                }
-                Event::TaskEnd { .. } | Event::MailboxBusy { .. } | Event::Fault { .. } => {}
+            sc.note_dropped(trace.proc, trace.dropped());
+        } else {
+            for (ts, ev) in trace.iter() {
+                sc.feed(trace.proc, *ts, ev);
             }
         }
-        tasks_run[p as usize] = next_task;
-        peak_mem[p as usize] = peak;
     }
-
-    // Pairwise mailbox discipline: contents match per sequence number,
-    // and at most one package is ever in flight (single-slot scheme).
-    for (&(src, dst), sends) in &pkg_sends {
-        let empty = Vec::new();
-        let recvs = pkg_recvs.get(&(src, dst)).unwrap_or(&empty);
-        for (k, (s, r)) in sends.iter().zip(recvs.iter()).enumerate() {
-            if s != r {
-                return Err(Violation::MailboxClobber {
-                    src,
-                    dst,
-                    seq: k as u32,
-                    detail: format!("package contents diverge: sent {s:?}, received {r:?}"),
-                });
-            }
-        }
-        if !spec.buffered_mailboxes && sends.len() > recvs.len() + 1 {
-            return Err(Violation::MailboxClobber {
-                src,
-                dst,
-                seq: recvs.len() as u32,
-                detail: format!(
-                    "{} packages sent but only {} received: >1 in flight through a single slot",
-                    sends.len(),
-                    recvs.len()
-                ),
-            });
-        }
-    }
-    // Orphan recvs: packages received on a pair that never sent any.
-    for (&(src, dst), recvs) in &pkg_recvs {
-        let sent = pkg_sends.get(&(src, dst)).map_or(0, |s| s.len());
-        if recvs.len() > sent {
-            return Err(Violation::MailboxClobber {
-                src,
-                dst,
-                seq: sent as u32,
-                detail: format!("{} packages received but only {sent} sent", recvs.len()),
-            });
-        }
-    }
-    // Every observed message must have been sent by its source.
-    for &mid in &msgs_recvd {
-        if !msgs_sent.contains(&mid) {
-            return Err(Violation::PhantomMessage {
-                msg: mid,
-                detail: "observed by receiver but never sent".into(),
-            });
-        }
-    }
-
-    let complete = (0..spec.nprocs).all(|p| tasks_run[p] == sched.order[p].len());
-    Ok(TraceReport { tasks_run, peak_mem, maps, complete })
+    sc.finish()
 }
 
 // ---------------------------------------------------------------------
@@ -738,7 +491,8 @@ pub fn skeletons(traces: &TraceSet) -> Vec<Vec<CanonEvent>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::TraceConfig;
+    use crate::corpus::{clean_traces, mutate, recovered_traces, tiny};
+    use crate::event::{TraceConfig, NO_OFFSET};
 
     #[test]
     fn violation_kind_strips_payload() {
@@ -752,94 +506,6 @@ mod tests {
             Violation::MailboxClobber { src: 9, dst: 9, seq: 9, detail: "x".into() }.kind(),
             "kinds compare payload-free"
         );
-    }
-
-    /// Two processors, one volatile flowing P0 -> P1: P1 MAP-allocates
-    /// object 1, notifies P0, P0 writes it, P1's task reads it.
-    fn tiny() -> (TaskGraph, Schedule, ProtocolSpec) {
-        use rapid_core::graph::TaskGraphBuilder;
-        use rapid_core::schedule::Assignment;
-        let mut b = TaskGraphBuilder::new();
-        let d0 = b.add_object(2); // owned by P0, written there
-        let d1 = b.add_object(3); // owned by P0, read on P1 => volatile on P1
-        let t0 = b.add_task(1.0, &[], &[d0]);
-        let t1 = b.add_task(1.0, &[d0], &[d1]);
-        let t2 = b.add_task(1.0, &[d1], &[]);
-        b.add_edge(t0, t1);
-        b.add_edge(t1, t2);
-        let g = b.build().unwrap();
-        let assign = Assignment { task_proc: vec![0, 0, 1], owner: vec![0, 0], nprocs: 2 };
-        let sched = Schedule { assign, order: vec![vec![t0, t1], vec![t2]] };
-        let spec = ProtocolSpec {
-            nprocs: 2,
-            // msg 0: t1's write of d1, presented to P1.
-            msgs: vec![MsgSpec { src_proc: 0, dst_proc: 1, objs: vec![1] }],
-            in_msgs: vec![vec![], vec![], vec![0]],
-            out_msgs: vec![vec![], vec![0], vec![]],
-            capacity: 16,
-            perm_units: vec![5, 0],
-            buffered_mailboxes: false,
-        };
-        (g, sched, spec)
-    }
-
-    /// A clean trace of [`tiny`]: P1 allocates d1 and notifies P0 before
-    /// P0 puts; every obligation holds.
-    fn clean_traces() -> TraceSet {
-        let cfg = TraceConfig::default();
-        let mut p0 = ProcTrace::new(0, cfg);
-        p0.state(0, ProtoState::Setup);
-        p0.state(1, ProtoState::Rec);
-        p0.rec(2, Event::TaskBegin { task: 0, pos: 0 });
-        p0.rec(3, Event::TaskEnd { task: 0 });
-        p0.state(3, ProtoState::Exe); // Rec->Exe->Snd->Rec around each task
-        p0.state(4, ProtoState::Snd);
-        p0.state(5, ProtoState::Rec);
-        p0.rec(6, Event::PkgRecv { src: 1, seq: 0, objs: vec![1] });
-        p0.rec(7, Event::TaskBegin { task: 1, pos: 1 });
-        p0.rec(8, Event::TaskEnd { task: 1 });
-        p0.state(8, ProtoState::Exe);
-        p0.state(9, ProtoState::Snd);
-        p0.rec(10, Event::SendOk { msg: 0 });
-        p0.state(11, ProtoState::End);
-        p0.state(12, ProtoState::Done);
-        let mut p1 = ProcTrace::new(1, cfg);
-        p1.state(0, ProtoState::Setup);
-        p1.state(1, ProtoState::Map);
-        p1.rec(1, Event::MapBegin { pos: 0 });
-        p1.rec(2, Event::Alloc { obj: 1, units: 3, offset: 0 });
-        p1.rec(3, Event::PkgSend { dst: 0, seq: 0, objs: vec![1] });
-        p1.rec(4, Event::MapEnd { pos: 0, next_map: 1, in_use: 3, arena_high: 3 });
-        p1.state(5, ProtoState::Rec);
-        p1.rec(6, Event::MsgRecv { msg: 0 });
-        p1.rec(7, Event::TaskBegin { task: 2, pos: 0 });
-        p1.rec(8, Event::TaskEnd { task: 2 });
-        p1.state(8, ProtoState::Exe);
-        p1.state(9, ProtoState::Snd);
-        p1.state(10, ProtoState::End);
-        p1.state(11, ProtoState::Done);
-        TraceSet::new(vec![p0, p1])
-    }
-
-    /// Rebuild the clean trace with one event substituted/injected by
-    /// `edit(proc, ts, event) -> Option<Event>` (None drops the event).
-    fn mutate<F: Fn(u32, u64, &Event) -> Option<Event>>(edit: F) -> TraceSet {
-        let base = clean_traces();
-        let cfg = TraceConfig::default();
-        let procs = base
-            .procs
-            .iter()
-            .map(|t| {
-                let mut nt = ProcTrace::new(t.proc, cfg);
-                for (ts, ev) in t.iter() {
-                    if let Some(e) = edit(t.proc, *ts, ev) {
-                        nt.rec(*ts, e);
-                    }
-                }
-                nt
-            })
-            .collect();
-        TraceSet::new(procs)
     }
 
     #[test]
@@ -1072,36 +738,6 @@ mod tests {
             Err(Violation::PhantomMessage { msg: 0, .. }) => {}
             other => panic!("expected PhantomMessage, got {other:?}"),
         }
-    }
-
-    /// P1's trace with an EXE-phase recovery spliced in: the task begins,
-    /// faults, the window rolls back to pos 0, and the replay re-runs
-    /// REC/EXE cleanly. With the rollback recorded the trace must pass.
-    fn recovered_traces() -> TraceSet {
-        let base = clean_traces();
-        let cfg = TraceConfig::default();
-        let mut p1 = ProcTrace::new(1, cfg);
-        p1.state(0, ProtoState::Setup);
-        p1.state(1, ProtoState::Map);
-        p1.rec(1, Event::MapBegin { pos: 0 });
-        p1.rec(2, Event::Alloc { obj: 1, units: 3, offset: 0 });
-        p1.rec(3, Event::PkgSend { dst: 0, seq: 0, objs: vec![1] });
-        p1.rec(4, Event::MapEnd { pos: 0, next_map: 1, in_use: 3, arena_high: 3 });
-        p1.state(5, ProtoState::Rec);
-        p1.rec(6, Event::MsgRecv { msg: 0 });
-        p1.rec(7, Event::TaskBegin { task: 2, pos: 0 });
-        p1.state(7, ProtoState::Exe);
-        // Task body faulted: roll the window back and re-execute it.
-        p1.rec(8, Event::WindowRollback { pos: 0, attempt: 1 });
-        p1.state(9, ProtoState::Rec);
-        p1.rec(10, Event::MsgRecv { msg: 0 });
-        p1.rec(11, Event::TaskBegin { task: 2, pos: 0 });
-        p1.rec(12, Event::TaskEnd { task: 2 });
-        p1.state(12, ProtoState::Exe);
-        p1.state(13, ProtoState::Snd);
-        p1.state(14, ProtoState::End);
-        p1.state(15, ProtoState::Done);
-        TraceSet::new(vec![base.procs[0].clone(), p1])
     }
 
     #[test]

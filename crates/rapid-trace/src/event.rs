@@ -238,23 +238,57 @@ pub enum Event {
     },
 }
 
-/// Tracing configuration: per-processor ring capacity in events.
+/// Sampling tier: how much of the protocol the recorder captures.
+///
+/// Ordered by verbosity, so `tier >= TraceTier::Skeleton` reads
+/// naturally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceTier {
+    /// Record nothing (the executors treat this exactly like tracing
+    /// disabled: no rings are allocated).
+    Off,
+    /// Record only the protocol skeleton: state transitions, MAP
+    /// begin/end with their alloc/free/rollback waves, package sends
+    /// with sequence numbers and contents, send initiations, message
+    /// receipts and task begins. Enough for [`crate::check::skeleton`]
+    /// conformance and [`crate::metrics::ProcMetrics`] dwell times;
+    /// receive-side package drains, task ends, retry/busy noise and
+    /// fault markers are dropped.
+    Skeleton,
+    /// Record every protocol event (the PR 4 behavior).
+    Full,
+}
+
+/// Tracing configuration: per-processor ring capacity in events, plus
+/// the sampling tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Maximum events retained per processor before the ring wraps.
     pub capacity: usize,
+    /// Sampling tier ([`TraceTier::Full`] by default).
+    pub tier: TraceTier,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { capacity: 1 << 16 }
+        TraceConfig { capacity: 1 << 16, tier: TraceTier::Full }
     }
 }
 
 impl TraceConfig {
-    /// Config with an explicit per-processor capacity.
+    /// Config with an explicit per-processor capacity (Full tier).
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceConfig { capacity: capacity.max(1) }
+        TraceConfig { capacity: capacity.max(1), tier: TraceTier::Full }
+    }
+
+    /// Config recording only the protocol skeleton.
+    pub fn skeleton() -> Self {
+        TraceConfig { tier: TraceTier::Skeleton, ..TraceConfig::default() }
+    }
+
+    /// The same config at a different tier.
+    pub fn with_tier(self, tier: TraceTier) -> Self {
+        TraceConfig { tier, ..self }
     }
 }
 
@@ -300,6 +334,13 @@ impl ProcTrace {
     #[inline]
     pub fn state(&mut self, ts: Ts, s: ProtoState) {
         self.rec(ts, Event::State(s));
+    }
+
+    /// Account for `n` events known to be lost before they reached this
+    /// trace (the flat-ring decoder reports the exact overwrite count it
+    /// derives from the ring's head epoch).
+    pub fn note_dropped(&mut self, n: u64) {
+        self.total += n;
     }
 
     /// Events recorded in total (including any overwritten by the ring).

@@ -18,6 +18,15 @@
 //!   ([`ProcMetrics`]) and Chrome-trace/Perfetto JSON
 //!   ([`chrome_trace_json`]) for human eyes.
 //!
+//! Production recording goes through the flat binary path instead of the
+//! typed ring: each worker writes fixed-width records into a [`FlatRing`]
+//! ([`ring`]/[`record`]), decoded off-line ([`decode`]) back into the
+//! [`Event`] schema so `check()`, `skeleton()` and the exporters are
+//! unchanged — or consumed live by the streaming checker ([`stream`]),
+//! which replays the same obligations concurrently with the run via
+//! seqlock-style epoch claims. A [`TraceTier`] picks how much the
+//! recorder captures (everything, the protocol skeleton, or nothing).
+//!
 //! The crate depends only on `rapid-core` (graph/schedule/liveness) and
 //! `rapid-machine` (fault sites); the runtime depends on *it*, handing
 //! the checker a plain-data [`ProtocolSpec`] built from its plan.
@@ -25,14 +34,22 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod corpus;
+pub mod decode;
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod record;
+pub mod ring;
+pub mod stream;
 
 pub use check::{
-    check, skeleton, skeletons, CanonEvent, MsgSpec, ProtocolSpec, TraceReport, Violation,
-    ViolationKind,
+    check, check_tier, skeleton, skeletons, CanonEvent, MsgSpec, ProtocolSpec, TraceReport,
+    Violation, ViolationKind,
 };
-pub use event::{Event, ProcTrace, ProtoState, TraceConfig, TraceSet, Ts, NO_OFFSET};
+pub use decode::{decode_ring, decode_rings, encode_trace};
+pub use event::{Event, ProcTrace, ProtoState, TraceConfig, TraceSet, TraceTier, Ts, NO_OFFSET};
 pub use export::chrome_trace_json;
 pub use metrics::ProcMetrics;
+pub use ring::{Claim, FlatRing, FlatWriter};
+pub use stream::{LiveDrain, StreamChecker};

@@ -28,9 +28,10 @@ use rapid_core::graph::{ProcId, TaskGraph};
 use rapid_core::schedule::{Assignment, CostModel, Schedule};
 use rapid_rt::{MapPlacement, MapWindow, RtPlan};
 use rapid_sched::{
-    avail_volatile, dts_order_with_blevel, merge_slices_from_h, owner_compute_assignment,
-    slice_h_par,
+    apply_moves, avail_volatile, dts_order_with_blevel, feedback_plan, merge_slices_from_h,
+    owner_compute_assignment, slice_h_par, FeedbackConfig, FeedbackPlan,
 };
+use rapid_trace::ProcMetrics;
 
 /// The capacity-dependent outcome of a plan or replan. The schedule and
 /// protocol plan it belongs to live in the [`Replanner`]'s cache
@@ -166,6 +167,53 @@ impl<'g> Replanner<'g> {
         let planned = place_and_verify(self.g, &sched, &plan, capacity, self.nthreads, false);
         SurvivorPlan { sched, planned }
     }
+
+    /// Metrics-fed re-plan: fold one traced run's [`ProcMetrics`] back
+    /// into the planner. [`rapid_sched::feedback_plan`] decides the
+    /// rebalance — whole write-groups migrate off processors whose EXE
+    /// dwell exceeds the hot threshold, and the DTS slice merge re-runs
+    /// at a scaled-down volatile budget so the replanned schedule MAPs
+    /// more often with smaller windows while the machine is hot. The
+    /// owner-compute pipeline then re-runs for the migrated assignment
+    /// (only the DCG is assignment-independent and reused).
+    ///
+    /// Deterministic end to end: the feedback decision is pure integer
+    /// arithmetic over the metrics and every downstream stage is
+    /// thread-count-invariant, so the same metrics yield the same
+    /// [`plan_hash`] on every run and every `nthreads`. The cached
+    /// fault-free plan is untouched; apply repeatedly by rebuilding a
+    /// [`Replanner`] over the returned assignment.
+    pub fn replan_feedback(
+        &self,
+        metrics: &[ProcMetrics],
+        cfg: &FeedbackConfig,
+        capacity: u64,
+    ) -> FeedbackOutcome {
+        let feedback = feedback_plan(self.g, self.assign, metrics, cfg);
+        let owner = apply_moves(&self.assign.owner, &feedback.moves);
+        let assign = owner_compute_assignment(self.g, &owner, self.assign.nprocs);
+        let blevel = bottom_levels_par(self.g, self.cost, Some(&assign), self.nthreads);
+        let h = slice_h_par(self.g, &assign, &self.dcg, self.nthreads);
+        let avail = avail_volatile(self.g, &assign, capacity);
+        let avail = (avail as u128 * feedback.avail_scale_permille as u128 / 1000) as u64;
+        let (merged_of, nmerged) = merge_slices_from_h(&h, avail);
+        let sched = order_for(self.g, &assign, self.cost, &self.dcg, &merged_of, nmerged, &blevel);
+        let plan = RtPlan::new(self.g, &sched);
+        let planned = place_and_verify(self.g, &sched, &plan, capacity, self.nthreads, false);
+        FeedbackOutcome { feedback, sched, planned }
+    }
+}
+
+/// The owned outcome of a metrics-fed re-plan
+/// ([`Replanner::replan_feedback`]).
+#[derive(Clone, Debug)]
+pub struct FeedbackOutcome {
+    /// The rebalancing decision the metrics produced.
+    pub feedback: FeedbackPlan,
+    /// The replanned schedule under the migrated ownership.
+    pub sched: Schedule,
+    /// Placement and verification of the replanned schedule.
+    pub planned: Planned,
 }
 
 /// The owned outcome of a degraded re-plan

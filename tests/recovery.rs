@@ -19,7 +19,9 @@ use rapid::prelude::*;
 use rapid::rt::threaded::run_sequential;
 use rapid::rt::{ExecError, RecoveryPolicy, Supervisor, TaskCtx};
 use rapid::sched::assign::cyclic_owner_map;
-use rapid::trace::{check, skeletons, CanonEvent, ProtocolSpec, TraceConfig};
+use rapid::trace::{
+    check, check_tier, skeletons, CanonEvent, ProtocolSpec, TraceConfig, TraceTier,
+};
 use rapid::verify::Replanner;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -330,4 +332,93 @@ fn quarantine_replan_completes() {
     assert_eq!(objects, reference, "degraded run must match the reference bitwise");
     assert_eq!(report.quarantined, vec![broken], "the supervisor must implicate P1");
     assert_eq!(report.attempts, 2, "one failed attempt, one clean degraded attempt");
+}
+
+#[test]
+fn transient_panic_recovers_under_skeleton_tier_with_live_checker() {
+    // The production observability configuration: Skeleton tier and the
+    // streaming checker running concurrently with the workers. A
+    // mid-flight WindowRollback must be accepted live (the re-execution
+    // is legal *because* the rollback was seen first), the run must heal
+    // bitwise, and the live verdict must equal the post-hoc replay.
+    let spec = RandomGraphSpec { objects: 12, tasks: 30, ..Default::default() };
+    let g = random_irregular_graph(5, &spec);
+    let owner = cyclic_owner_map(g.num_objects(), 4);
+    let assign = owner_compute_assignment(&g, &owner, 4);
+    let sched = mpo_order(&g, &assign, &CostModel::unit());
+    let cap = min_mem(&g, &sched).min_mem + 8;
+    let reference = run_sequential(&g, body);
+    let victim = TaskId(17);
+    let armed = AtomicBool::new(true);
+    let exec = ThreadedExecutor::new(&g, &sched, cap)
+        .with_recovery(RecoveryPolicy::new())
+        .with_tracing(TraceConfig::skeleton())
+        .with_streaming_check();
+    let spec = exec.plan().trace_spec(cap);
+    let out = exec
+        .run(|t, ctx| {
+            if t == victim && armed.swap(false, Ordering::SeqCst) {
+                panic!("chaos: transient body panic");
+            }
+            body(t, ctx)
+        })
+        .expect("a single transient panic must be healed");
+    assert_eq!(out.objects, reference, "recovered run must match the reference bitwise");
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+    let live = out.stream_verdict.clone().expect("streaming was enabled");
+    let post = check_tier(&g, &sched, &spec, trace, TraceTier::Skeleton);
+    assert_eq!(live, post, "live and post-hoc verdicts diverge");
+    assert!(live.is_ok(), "recovered skeleton trace must stream clean: {live:?}");
+    // The rollback that healed the panic survives the skeleton tier.
+    let rollbacks: usize = skeletons(trace)
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, CanonEvent::Rollback { .. }))
+        .count();
+    assert_eq!(rollbacks, 1, "the healing rollback must be visible at Skeleton tier");
+}
+
+#[test]
+fn fault_matrix_streams_clean_under_skeleton_tier() {
+    // Chaos matrix at Skeleton tier with the live checker armed: every
+    // healed run's streaming verdict must be clean and must equal the
+    // post-hoc tier-aware replay — across alloc-failure scenarios whose
+    // healing emits AllocRollback and WindowRollback records mid-flight.
+    let gspec = RandomGraphSpec { objects: 16, tasks: 40, ..Default::default() };
+    let g = random_irregular_graph(7, &gspec);
+    let owner = cyclic_owner_map(g.num_objects(), 4);
+    let assign = owner_compute_assignment(&g, &owner, 4);
+    let sched = mpo_order(&g, &assign, &CostModel::unit());
+    // A little slack so the transient faults are healable in-place; the
+    // injected alloc failures still drive AllocRollback/WindowRollback.
+    let cap = min_mem(&g, &sched).min_mem + 8;
+    let reference = run_sequential(&g, body);
+    let mut healed = 0usize;
+    for fault_seed in 0..8u64 {
+        for (name, plan) in FaultPlan::scenarios(fault_seed) {
+            let exec = ThreadedExecutor::new(&g, &sched, cap)
+                .with_faults(plan)
+                .with_recovery(RecoveryPolicy::new())
+                .with_tracing(TraceConfig::skeleton())
+                .with_streaming_check();
+            let spec = exec.plan().trace_spec(cap);
+            let label = format!("skeleton {name} seed {fault_seed}");
+            match exec.run(body) {
+                Ok(out) => {
+                    assert_eq!(out.objects, reference, "{label}: corrupted results");
+                    let trace = out.trace.as_ref().expect("tracing was enabled");
+                    let live = out.stream_verdict.clone().expect("streaming was enabled");
+                    let post = check_tier(&g, &sched, &spec, trace, TraceTier::Skeleton);
+                    assert_eq!(live, post, "{label}: live and post-hoc verdicts diverge");
+                    assert!(live.is_ok(), "{label}: healed run must stream clean: {live:?}");
+                    healed += 1;
+                }
+                Err(ExecError::Unrecoverable { attempts, .. }) => {
+                    assert!(attempts > 0, "{label}: Unrecoverable must name the budget");
+                }
+                Err(e) => panic!("{label}: recovery armed, but run failed with {e}"),
+            }
+        }
+    }
+    assert!(healed >= 8, "only {healed} runs healed — the matrix lost its teeth");
 }
