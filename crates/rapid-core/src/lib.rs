@@ -30,6 +30,7 @@
 //!   generators used across the workspace's tests and benches.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod algo;
 pub mod dcg;

@@ -27,6 +27,7 @@
 //!   jitter) for chaos-testing the executors' recovery paths.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
 pub mod arena;

@@ -31,9 +31,16 @@
 //! retires. Fact I is untouched because a writer cannot learn a remote
 //! address before the physical batch carrying it is drained.
 
+// sync-audit: the per-worker `pending` counters are Relaxed by design — they
+// are a monotonic *hint* read by the END-barrier spin, never a publication
+// edge (the packages themselves travel through the Release/Acquire mailbox
+// hand-off, which is what makes the hint eventually-accurate at quiescence).
+// The flush-ladder accounting is model-checked exhaustively by
+// `rapid_sync::models::agg` (see DESIGN.md §16).
+
 use crate::mailbox::{AddrEntry, AddrPackage, MailboxBoard};
+use rapid_sync::{Ordering, SyncAtomicUsize};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Result of handing one logical address package to a [`Port`].
@@ -181,7 +188,7 @@ impl Port for DirectPort<'_> {
 pub struct AggregatingMachine {
     board: MailboxBoard,
     threshold: usize,
-    pending: Vec<AtomicUsize>,
+    pending: Vec<SyncAtomicUsize>,
 }
 
 /// Default entry-count threshold above which a destination buffer is
@@ -202,7 +209,7 @@ impl AggregatingMachine {
         AggregatingMachine {
             board: MailboxBoard::new(nprocs),
             threshold,
-            pending: (0..nprocs).map(|_| AtomicUsize::new(0)).collect(),
+            pending: (0..nprocs).map(|_| SyncAtomicUsize::new(0)).collect(),
         }
     }
 }

@@ -21,7 +21,14 @@
 //! A plain send is simply a batch of one segment, so the paper's
 //! unbuffered semantics are the degenerate case of the same machinery.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+// sync-audit: the EMPTY→WRITING CAS uses a Relaxed failure ordering — a
+// failed claim publishes nothing and the caller retries later. Success uses
+// Acquire (pairs with the receiver's Release EMPTY store so the slot buffer
+// reuse is ordered) and FULL/EMPTY hand-offs are Release/Acquire. The state
+// machine is model-checked exhaustively by `rapid_sync::models::mailbox`
+// (see DESIGN.md §16).
+
+use rapid_sync::{Ordering, SyncAtomicU8};
 use std::sync::Mutex;
 
 /// One entry of an address package: object `obj` lives at arena offset
@@ -55,7 +62,7 @@ const FULL: u8 = 2;
 /// rather than propagated.
 #[derive(Debug, Default)]
 pub struct AddrSlot {
-    state: AtomicU8,
+    state: SyncAtomicU8,
     pkg: Mutex<BatchBuf>,
 }
 
@@ -71,7 +78,7 @@ struct BatchBuf {
 impl AddrSlot {
     /// New empty slot.
     pub fn new() -> Self {
-        AddrSlot { state: AtomicU8::new(EMPTY), pkg: Mutex::new(BatchBuf::default()) }
+        AddrSlot { state: SyncAtomicU8::new(EMPTY), pkg: Mutex::new(BatchBuf::default()) }
     }
 
     /// Attempt to deposit `pkg`. Fails (returning the package back) while

@@ -26,8 +26,14 @@
 //! Graphs produced by the inspector are dependence-complete, which makes
 //! (1) hold for every schedule the runtime executes.
 
+// sync-audit: `FlagBoard` is the publication edge for one-sided RMA puts —
+// `raise` is a Release `fetch_add` (publishes every heap store sequenced
+// before it), `is_raised` an Acquire load. The payload-publication protocol
+// (including guarded re-execution after recovery) is model-checked
+// exhaustively by `rapid_sync::models::sentguard` (see DESIGN.md §16).
+
+use rapid_sync::{Ordering, SyncAtomicU32};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A fixed slab of `f64` cells writable from remote threads.
 pub struct RmaHeap {
@@ -59,10 +65,13 @@ impl RmaHeap {
     #[inline]
     pub unsafe fn put(&self, off: u64, src: &[f64]) {
         debug_assert!(off + src.len() as u64 <= self.capacity());
-        let base = self.cells.as_ptr().add(off as usize);
         // SAFETY: range is in bounds (debug-asserted; callers uphold it in
-        // release too) and exclusively owned per the protocol.
-        std::ptr::copy_nonoverlapping(src.as_ptr(), base as *mut f64, src.len());
+        // release too) and exclusively owned per the module protocol, so the
+        // offset stays inside the allocation and the copy cannot race.
+        unsafe {
+            let base = self.cells.as_ptr().add(off as usize);
+            std::ptr::copy_nonoverlapping(src.as_ptr(), base as *mut f64, src.len());
+        }
     }
 
     /// Read `[off, off + dst.len())` into `dst`.
@@ -73,8 +82,13 @@ impl RmaHeap {
     #[inline]
     pub unsafe fn read(&self, off: u64, dst: &mut [f64]) {
         debug_assert!(off + dst.len() as u64 <= self.capacity());
-        let base = self.cells.as_ptr().add(off as usize);
-        std::ptr::copy_nonoverlapping(base as *const f64, dst.as_mut_ptr(), dst.len());
+        // SAFETY: range is in bounds (debug-asserted; callers uphold it in
+        // release too); the caller observed the writer's Release flag, so no
+        // writer overlaps this copy.
+        unsafe {
+            let base = self.cells.as_ptr().add(off as usize);
+            std::ptr::copy_nonoverlapping(base as *const f64, dst.as_mut_ptr(), dst.len());
+        }
     }
 
     /// Mutable view of a range for local computation.
@@ -86,8 +100,13 @@ impl RmaHeap {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, off: u64, len: u64) -> &mut [f64] {
         debug_assert!(off + len <= self.capacity());
-        let base = self.cells.as_ptr().add(off as usize) as *mut f64;
-        std::slice::from_raw_parts_mut(base, len as usize)
+        // SAFETY: range is in bounds (debug-asserted; callers uphold it in
+        // release too) and the caller holds exclusive access for the
+        // returned lifetime, so no aliasing view can exist.
+        unsafe {
+            let base = self.cells.as_ptr().add(off as usize) as *mut f64;
+            std::slice::from_raw_parts_mut(base, len as usize)
+        }
     }
 
     /// Shared view of a range.
@@ -97,8 +116,13 @@ impl RmaHeap {
     #[inline]
     pub unsafe fn slice(&self, off: u64, len: u64) -> &[f64] {
         debug_assert!(off + len <= self.capacity());
-        let base = self.cells.as_ptr().add(off as usize) as *const f64;
-        std::slice::from_raw_parts(base, len as usize)
+        // SAFETY: range is in bounds (debug-asserted; callers uphold it in
+        // release too) and no writer overlaps it for the returned lifetime
+        // per the module protocol.
+        unsafe {
+            let base = self.cells.as_ptr().add(off as usize) as *const f64;
+            std::slice::from_raw_parts(base, len as usize)
+        }
     }
 }
 
@@ -107,13 +131,13 @@ impl RmaHeap {
 /// the receiver. A counter (not a bool) so that tests can detect double
 /// raises.
 pub struct FlagBoard {
-    flags: Box<[AtomicU32]>,
+    flags: Box<[SyncAtomicU32]>,
 }
 
 impl FlagBoard {
     /// Board of `n` flags, all lowered.
     pub fn new(n: usize) -> Self {
-        FlagBoard { flags: (0..n).map(|_| AtomicU32::new(0)).collect() }
+        FlagBoard { flags: (0..n).map(|_| SyncAtomicU32::new(0)).collect() }
     }
 
     /// Raise flag `i` (Release): publishes every store sequenced before it.

@@ -8,6 +8,12 @@
 //! for specifying irregular data objects and tasks that access these
 //! objects".
 
+// sync-audit: the worker-state board (`publish`/`read`) uses Relaxed
+// single-word stores by design — it is a best-effort observability snapshot
+// for stall diagnostics, racing with the workers on purpose; a torn
+// *sequence* of observations is acceptable and no payload is published
+// through it.
+
 use rapid_core::ddg::{AccessKind, DdgStats, TraceBuilder, WritePolicy};
 use rapid_core::graph::{GraphError, ObjId, ProcId, TaskGraph, TaskId};
 use rapid_core::schedule::{CostModel, Schedule};

@@ -21,6 +21,7 @@
 //!   the remaining work onto survivors when a window is unrecoverable.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod des;
 pub mod inspector;

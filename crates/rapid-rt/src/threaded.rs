@@ -57,6 +57,13 @@
 //!   working sets stop migrating between caches.
 
 use crate::inspector::{ProcDiag, StallSnapshot, StateBoard, WorkerState};
+// sync-audit: the only Relaxed atomics in this module are the recovery
+// diagnostics counters (`RecoveryLog`) — monotonic telemetry read after the
+// workers join or for best-effort stall reports, never a publication edge.
+// All cross-thread payload hand-offs go through the Release/Acquire
+// FlagBoard and mailbox protocols, model-checked by `rapid_sync::models`
+// (`sentguard`, `mailbox`; see DESIGN.md §16).
+
 use crate::maps::{AccessOp, AccessViolation, ExecError, MapPlanner, RtPlan};
 use crate::recover::RecoveryPolicy;
 use rapid_core::graph::{ObjId, TaskGraph, TaskId};
@@ -2000,6 +2007,56 @@ mod tests {
             .expect("steady progress must never trip the watchdog");
         assert!(out.wall > exec.watchdog, "test must outlive the watchdog");
         assert_eq!(out.objects, run_sequential(&g, test_body));
+    }
+
+    /// Pooled-ring reuse regression (satellite): a traced run whose rings
+    /// wrapped must not leak its overwrite epoch into the next run on the
+    /// same executor. The pool resets every ring on reuse; without the
+    /// reset the second run's decoder would derive a huge phantom drop
+    /// count from the stale head (and could claim the previous run's
+    /// records as its own). A single-processor chain makes the event
+    /// stream fully deterministic, so the two runs must decode
+    /// identically — totals, drop counts, and the retained events.
+    #[test]
+    fn pooled_rings_reset_between_traced_runs() {
+        use rapid_core::graph::TaskGraphBuilder;
+        use rapid_core::schedule::{Assignment, Schedule};
+        let k = 12usize;
+        let mut b = TaskGraphBuilder::new();
+        let objs: Vec<_> = (0..k).map(|_| b.add_object(1)).collect();
+        let mut tasks = Vec::new();
+        for i in 0..k {
+            let reads: Vec<_> = if i == 0 { vec![] } else { vec![objs[i - 1]] };
+            let t = b.add_task(1.0, &reads, &[objs[i]]);
+            if i > 0 {
+                b.add_edge(tasks[i - 1], t);
+            }
+            tasks.push(t);
+        }
+        let g = b.build().unwrap();
+        let assign = Assignment { task_proc: vec![0; k], owner: vec![0; k], nprocs: 1 };
+        let sched = Schedule { assign, order: vec![tasks.clone()] };
+        let exec = ThreadedExecutor::new(&g, &sched, 64)
+            .with_tracing(TraceConfig { capacity: 8, tier: TraceTier::Full });
+        let out1 = exec.run(test_body).unwrap();
+        let t1 = out1.trace.expect("tracing was enabled");
+        assert!(t1.dropped() > 0, "capacity 8 must wrap on this workload");
+        // Second run reuses the pooled rings (same proc set and capacity).
+        let out2 = exec.run(test_body).unwrap();
+        let t2 = out2.trace.expect("tracing was enabled");
+        assert_eq!(out2.objects, out1.objects);
+        for (p1, p2) in t1.procs.iter().zip(t2.procs.iter()) {
+            assert_eq!(
+                p2.total(),
+                p1.total(),
+                "proc {}: stale overwrite epoch leaked into the reused ring",
+                p1.proc
+            );
+            assert_eq!(p2.dropped(), p1.dropped(), "proc {}: phantom drops", p1.proc);
+            let e1: Vec<_> = p1.iter().map(|(_, e)| e.clone()).collect();
+            let e2: Vec<_> = p2.iter().map(|(_, e)| e.clone()).collect();
+            assert_eq!(e1, e2, "proc {}: stale records decoded", p1.proc);
+        }
     }
 
     /// A wait with no observable progress for longer than the watchdog

@@ -26,6 +26,7 @@
 //! `BENCH_scheduling.json` for the measured gap.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod assign;
 pub mod dsc;

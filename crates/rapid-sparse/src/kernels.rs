@@ -291,21 +291,28 @@ unsafe fn gemm_bt_tiles_avx2(
     let cp = c.as_mut_ptr();
     for j0 in (0..nfull).step_by(MR) {
         for i0 in (0..mfull).step_by(MR) {
-            let mut acc0 = _mm256_setzero_pd();
-            let mut acc1 = _mm256_setzero_pd();
-            let mut acc2 = _mm256_setzero_pd();
-            let mut acc3 = _mm256_setzero_pd();
-            for p in 0..k {
-                let av = _mm256_loadu_pd(ap.add(p * am + arow0 + i0));
-                let br = bp.add(p * bn + j0);
-                acc0 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br), acc0);
-                acc1 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(1)), acc1);
-                acc2 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(2)), acc2);
-                acc3 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(3)), acc3);
-            }
-            for (jj, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
-                let cc = cp.add((j0 + jj) * cm + row0 + i0);
-                _mm256_storeu_pd(cc, _mm256_sub_pd(_mm256_loadu_pd(cc), acc));
+            // SAFETY: caller contract — `mfull`/`nfull` are `MR`-multiples
+            // not exceeding the operand extents, so every `add` stays inside
+            // its slice with `MR` elements of headroom for the unaligned
+            // 256-bit loads/stores; AVX2+FMA were runtime-verified by the
+            // caller (and `#[target_feature]` makes the intrinsics callable).
+            unsafe {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut acc2 = _mm256_setzero_pd();
+                let mut acc3 = _mm256_setzero_pd();
+                for p in 0..k {
+                    let av = _mm256_loadu_pd(ap.add(p * am + arow0 + i0));
+                    let br = bp.add(p * bn + j0);
+                    acc0 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br), acc0);
+                    acc1 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(1)), acc1);
+                    acc2 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(2)), acc2);
+                    acc3 = _mm256_fmadd_pd(av, _mm256_set1_pd(*br.add(3)), acc3);
+                }
+                for (jj, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                    let cc = cp.add((j0 + jj) * cm + row0 + i0);
+                    _mm256_storeu_pd(cc, _mm256_sub_pd(_mm256_loadu_pd(cc), acc));
+                }
             }
         }
     }

@@ -27,6 +27,7 @@
 //!   checks used to validate the parallel executors.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod blockpart;
 pub mod csc;

@@ -1,0 +1,1242 @@
+//! The deterministic exhaustive scheduler and relaxed-memory simulator.
+//!
+//! One OS thread explores every interleaving of a bounded model via stateless
+//! DFS over a persistent choice stack. To advance a model thread by one step,
+//! its closure is re-run from the top in replay mode (recorded results are fed
+//! back for already-performed operations), the next operation executes fresh
+//! against the simulated memory, and the closure is halted by unwinding a
+//! `StopToken`. Choice points are (a) which thread steps next and (b) which
+//! coherence-eligible store a load observes; sleep-set (DPOR-style) pruning
+//! drops schedules that only commute independent steps.
+//!
+//! The memory model is sequential consistency plus a reordering budget: every
+//! store to a location is kept with the full vector clock of the storer plus
+//! an optional release clock; a load may observe any store that is not hidden
+//! by a coherence-newer store already visible to the reader (newest `budget`
+//! candidates). Acquire loads join the observed store's release clock;
+//! relaxed loads stash it for a later acquire fence. `SyncCell` accesses are
+//! vector-clock race-checked. This is exactly enough to witness weakened
+//! acquire/release orderings and deleted fences as concrete counterexamples.
+
+// sync-audit: the engine itself is single-threaded (Rc/RefCell state); the
+// only std atomics it touches are the real shim cells it reads for lazy
+// registration, via caller-provided closures.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::Once;
+
+use crate::shim::CELL_BYTES;
+
+pub(crate) type Bytes = [u8; CELL_BYTES];
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, o: &VClock) {
+        if self.0.len() < o.0.len() {
+            self.0.resize(o.0.len(), 0);
+        }
+        for (i, v) in o.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    fn leq(&self, o: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, v)| *v == 0 || o.0.get(i).copied().unwrap_or(0) >= *v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accesses, locations, stores
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Kind {
+    Load,
+    Store,
+    Rmw,
+    CellRead,
+    CellWrite,
+    Fence,
+    Note,
+}
+
+fn is_read(k: Kind) -> bool {
+    matches!(k, Kind::Load | Kind::CellRead)
+}
+
+/// Does executing `a` change the outcome of a pending first-step `b` (or vice
+/// versa)? Conservative for fences (conflict with everything).
+fn conflicts(a: (Kind, usize), b: (Kind, usize)) -> bool {
+    match (a.0, b.0) {
+        (Kind::Note, _) | (_, Kind::Note) => false,
+        (Kind::Fence, _) | (_, Kind::Fence) => true,
+        _ => a.1 == b.1 && !(is_read(a.0) && is_read(b.0)),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StoreRec {
+    val: u64,
+    /// Full clock of the storing thread at store time; used for coherence
+    /// hiding (a reader cannot observe a store older than one it has already
+    /// seen happen-before).
+    clock: VClock,
+    /// Clock transferred to acquire readers (release store, or latched
+    /// release fence, or inherited through an RMW release sequence).
+    rel: Option<VClock>,
+    seq_cst: bool,
+}
+
+enum LocKind {
+    Atomic { stores: Vec<StoreRec> },
+    Cell { last_write: Option<VClock>, reads: Vec<VClock> },
+}
+
+struct Loc {
+    name: String,
+    kind: LocKind,
+}
+
+// ---------------------------------------------------------------------------
+// Threads, replay, choices
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Performed {
+    addr: usize,
+    kind: Kind,
+    val: u64,
+    ok: bool,
+    bytes: Bytes,
+}
+
+#[derive(Default)]
+struct ThreadSt {
+    clock: VClock,
+    fence_rel: Option<VClock>,
+    acq_pending: VClock,
+    /// Per-location index of the oldest store this thread may still observe.
+    floor: HashMap<usize, usize>,
+    performed: Vec<Performed>,
+    replay_pos: usize,
+    finished: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeKind {
+    Sched,
+    Value,
+}
+
+struct ChoiceNode {
+    alts: usize,
+    taken: usize,
+    kind: NodeKind,
+    /// Sched only: first access of each already-explored child, for sleep
+    /// sets. `Kind::Note` entries conflict with nothing (thread finished
+    /// without a synchronizing access).
+    explored: Vec<(usize, Kind, usize)>,
+}
+
+/// Compact trace event; rendered lazily only for counterexamples.
+struct TraceEv {
+    tid: usize,
+    op: &'static str,
+    loc: usize,
+    ord: Ordering,
+    arg: u64,
+    res: u64,
+    ok: bool,
+}
+
+pub(crate) enum RmwOp {
+    Cas { current: u64, new: u64, failure: Ordering },
+    FetchAdd { add: u64, mask: u64 },
+}
+
+struct StopToken;
+
+// ---------------------------------------------------------------------------
+// Config / outcome surface (re-exported by `model`)
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds. Hitting any bound is reported as [`Outcome::Exhausted`]
+/// — never silently treated as a pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum number of complete-or-pruned executions to explore.
+    pub max_execs: usize,
+    /// Maximum shim operations per single execution (runaway-loop guard).
+    pub max_steps: usize,
+    /// How many coherence-newest stores a load may observe (1 = SC).
+    pub budget: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { max_execs: 500_000, max_steps: 500, budget: 4 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    pub executions: usize,
+    pub pruned: usize,
+    pub steps: usize,
+}
+
+#[derive(Debug)]
+pub struct Counterexample {
+    pub model: String,
+    pub message: String,
+    pub trace: Vec<String>,
+    pub executions: usize,
+    pub schedule: Vec<usize>,
+}
+
+impl Counterexample {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("model:     {}\n", self.model));
+        s.push_str(&format!("violation: {}\n", self.message));
+        s.push_str(&format!(
+            "found at execution {} (schedule digits {:?})\n",
+            self.executions, self.schedule
+        ));
+        s.push_str("interleaving:\n");
+        for line in &self.trace {
+            s.push_str("  ");
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[derive(Debug)]
+pub enum Outcome {
+    Pass(Stats),
+    Violation(Box<Counterexample>),
+    /// An exploration bound was hit before the state space was exhausted.
+    Exhausted(Stats),
+}
+
+// ---------------------------------------------------------------------------
+// Sim: what a scenario closure registers
+// ---------------------------------------------------------------------------
+
+/// Registration handle passed to the scenario closure once per execution.
+/// `thread` registers a model thread; `finally` registers a post-join
+/// invariant that runs after all threads finished (with full happens-before
+/// visibility).
+#[derive(Default)]
+pub struct Sim {
+    threads: Vec<Rc<dyn Fn()>>,
+    finals: Vec<Rc<dyn Fn()>>,
+}
+
+impl Sim {
+    pub fn thread(&mut self, f: impl Fn() + 'static) {
+        self.threads.push(Rc::new(f));
+    }
+
+    pub fn finally(&mut self, f: impl Fn() + 'static) {
+        self.finals.push(Rc::new(f));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+struct Exec {
+    cfg: Config,
+    // persistent across executions:
+    stack: Vec<ChoiceNode>,
+    stats: Stats,
+    // per-execution:
+    cursor: usize,
+    /// `Some(tid)` while a model thread's closure is being stepped;
+    /// `None` during setup/finally (sequential pseudo-thread 0).
+    stepping: Option<usize>,
+    registry: HashMap<usize, usize>,
+    locs: Vec<Loc>,
+    threads: Vec<ThreadSt>,
+    thread_fns: Vec<Rc<dyn Fn()>>,
+    final_fns: Vec<Rc<dyn Fn()>>,
+    sc_clock: VClock,
+    trace: Vec<TraceEv>,
+    outputs: Vec<Vec<u64>>,
+    last_access: Option<(Kind, usize)>,
+    total_ops: usize,
+}
+
+impl Exec {
+    fn new(cfg: Config) -> Self {
+        Self {
+            cfg,
+            stack: Vec::new(),
+            stats: Stats::default(),
+            cursor: 0,
+            stepping: None,
+            registry: HashMap::new(),
+            locs: Vec::new(),
+            threads: Vec::new(),
+            thread_fns: Vec::new(),
+            final_fns: Vec::new(),
+            sc_clock: VClock::default(),
+            trace: Vec::new(),
+            outputs: Vec::new(),
+            last_access: None,
+            total_ops: 0,
+        }
+    }
+
+    fn reset_for_execution(&mut self) {
+        self.cursor = 0;
+        self.stepping = None;
+        self.registry.clear();
+        self.locs.clear();
+        self.threads.clear();
+        self.thread_fns.clear();
+        self.final_fns.clear();
+        self.sc_clock = VClock::default();
+        self.trace.clear();
+        self.outputs.clear();
+        self.last_access = None;
+        self.total_ops = 0;
+    }
+
+    fn choose(&mut self, kind: NodeKind, alts: usize) -> usize {
+        debug_assert!(alts > 1);
+        if self.cursor < self.stack.len() {
+            let node = &self.stack[self.cursor];
+            debug_assert_eq!(node.kind, kind, "choice tree diverged (nondeterministic model?)");
+            debug_assert_eq!(node.alts, alts, "choice tree diverged (nondeterministic model?)");
+            self.cursor += 1;
+            node.taken
+        } else {
+            self.stack.push(ChoiceNode { alts, taken: 0, kind, explored: Vec::new() });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    fn ensure_atomic(&mut self, addr: usize, init: impl FnOnce() -> u64) -> usize {
+        if let Some(&id) = self.registry.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        self.locs.push(Loc {
+            name: format!("a{id}"),
+            kind: LocKind::Atomic {
+                stores: vec![StoreRec {
+                    val: init(),
+                    clock: VClock::default(),
+                    rel: None,
+                    seq_cst: false,
+                }],
+            },
+        });
+        self.registry.insert(addr, id);
+        id
+    }
+
+    fn ensure_cell(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.registry.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        let nthreads = self.threads.len().max(1);
+        self.locs.push(Loc {
+            name: format!("c{id}"),
+            kind: LocKind::Cell { last_write: None, reads: vec![VClock::default(); nthreads] },
+        });
+        self.registry.insert(addr, id);
+        id
+    }
+
+    /// Current acting thread: a stepped model thread, or 0 (the main /
+    /// setup / finally pseudo-thread).
+    fn acting(&self) -> usize {
+        self.stepping.unwrap_or(0)
+    }
+
+    fn try_replay(&mut self, addr: usize, kind: Kind) -> Option<Performed> {
+        let tid = self.stepping?;
+        let t = &mut self.threads[tid];
+        if t.replay_pos < t.performed.len() {
+            let p = t.performed[t.replay_pos].clone();
+            assert!(
+                p.addr == addr && p.kind == kind,
+                "model thread is not deterministic: replay expected {:?}@{:#x}, got {:?}@{:#x}",
+                p.kind,
+                p.addr,
+                kind,
+                addr
+            );
+            t.replay_pos += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn bump_ops(&mut self) {
+        self.total_ops += 1;
+        self.stats.steps += 1;
+        assert!(
+            self.total_ops <= self.cfg.max_steps,
+            "model exceeded the per-execution step bound ({}); unbounded loop?",
+            self.cfg.max_steps
+        );
+    }
+
+    fn record(&mut self, tid: usize, p: Performed) {
+        self.threads[tid].performed.push(p);
+        self.threads[tid].replay_pos = self.threads[tid].performed.len();
+    }
+
+    fn push_trace(&mut self, ev: TraceEv) {
+        self.trace.push(ev);
+    }
+
+    // -- memory model ------------------------------------------------------
+
+    fn atomic_stores(&self, loc: usize) -> &Vec<StoreRec> {
+        match &self.locs[loc].kind {
+            LocKind::Atomic { stores } => stores,
+            LocKind::Cell { .. } => unreachable!("atomic op on cell location"),
+        }
+    }
+
+    fn atomic_stores_mut(&mut self, loc: usize) -> &mut Vec<StoreRec> {
+        match &mut self.locs[loc].kind {
+            LocKind::Atomic { stores } => stores,
+            LocKind::Cell { .. } => unreachable!("atomic op on cell location"),
+        }
+    }
+
+    /// Perform a load for thread `tid` (model semantics). Returns the value.
+    fn perform_load(&mut self, tid: usize, loc: usize, ord: Ordering) -> u64 {
+        let clock = self.threads[tid].clock.clone();
+        let floor = *self.threads[tid].floor.get(&loc).unwrap_or(&0);
+        let stores = self.atomic_stores(loc);
+        // Candidates, newest first: everything at or above the coherence
+        // floor down to (and including) the newest store already visible via
+        // happens-before; older stores are hidden by it.
+        let mut cands: Vec<usize> = Vec::new();
+        for i in (floor..stores.len()).rev() {
+            cands.push(i);
+            if stores[i].clock.leq(&clock) {
+                break;
+            }
+        }
+        // A SeqCst load must not observe anything older than the newest
+        // SeqCst store (single total order approximation).
+        if ord == Ordering::SeqCst {
+            if let Some(newest_sc) = (floor..stores.len()).rev().find(|&i| stores[i].seq_cst) {
+                cands.retain(|&i| i >= newest_sc);
+            }
+        }
+        if cands.len() > self.cfg.budget {
+            cands.truncate(self.cfg.budget);
+        }
+        let idx = if cands.len() > 1 { self.choose(NodeKind::Value, cands.len()) } else { 0 };
+        let si = cands[idx];
+        let stores = self.atomic_stores(loc);
+        let val = stores[si].val;
+        let rel = stores[si].rel.clone();
+        let t = &mut self.threads[tid];
+        t.clock.tick(tid);
+        t.floor.insert(loc, si);
+        if let Some(r) = rel {
+            if is_acquire(ord) {
+                t.clock.join(&r);
+            } else {
+                t.acq_pending.join(&r);
+            }
+        }
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            let t = &mut self.threads[tid];
+            t.clock.join(&sc);
+            let tc = t.clock.clone();
+            self.sc_clock.join(&tc);
+        }
+        val
+    }
+
+    fn perform_store(&mut self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        let t = &mut self.threads[tid];
+        t.clock.tick(tid);
+        let rel = if is_release(ord) { Some(t.clock.clone()) } else { t.fence_rel.clone() };
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            let t = &mut self.threads[tid];
+            t.clock.join(&sc);
+            let tc = t.clock.clone();
+            self.sc_clock.join(&tc);
+        }
+        let clock = self.threads[tid].clock.clone();
+        let stores = self.atomic_stores_mut(loc);
+        stores.push(StoreRec { val, clock, rel, seq_cst: ord == Ordering::SeqCst });
+        let idx = stores.len() - 1;
+        self.threads[tid].floor.insert(loc, idx);
+    }
+
+    /// RMWs always read the newest store in coherence order (atomicity).
+    /// Returns (old value, success).
+    fn perform_rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        op: &RmwOp,
+        success_ord: Ordering,
+    ) -> (u64, bool) {
+        let stores = self.atomic_stores(loc);
+        let last = stores.len() - 1;
+        let old = stores[last].val;
+        let pred_rel = stores[last].rel.clone();
+        let (ok, newv, eff_ord) = match op {
+            RmwOp::Cas { current, new, failure } => {
+                if old == *current {
+                    (true, *new, success_ord)
+                } else {
+                    (false, 0, *failure)
+                }
+            }
+            RmwOp::FetchAdd { add, mask } => (true, old.wrapping_add(*add) & mask, success_ord),
+        };
+        let t = &mut self.threads[tid];
+        t.clock.tick(tid);
+        if let Some(r) = &pred_rel {
+            if is_acquire(eff_ord) {
+                t.clock.join(r);
+            } else {
+                t.acq_pending.join(r);
+            }
+        }
+        if ok {
+            let own_rel =
+                if is_release(eff_ord) { Some(t.clock.clone()) } else { t.fence_rel.clone() };
+            // Release-sequence approximation: an RMW store keeps the
+            // predecessor's release clock alive for later acquire readers.
+            let rel = match (own_rel, pred_rel) {
+                (Some(mut a), Some(b)) => {
+                    a.join(&b);
+                    Some(a)
+                }
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+            if eff_ord == Ordering::SeqCst {
+                let sc = self.sc_clock.clone();
+                let t = &mut self.threads[tid];
+                t.clock.join(&sc);
+                let tc = t.clock.clone();
+                self.sc_clock.join(&tc);
+            }
+            let clock = self.threads[tid].clock.clone();
+            let stores = self.atomic_stores_mut(loc);
+            stores.push(StoreRec { val: newv, clock, rel, seq_cst: eff_ord == Ordering::SeqCst });
+            let idx = stores.len() - 1;
+            self.threads[tid].floor.insert(loc, idx);
+        } else {
+            self.threads[tid].floor.insert(loc, last);
+        }
+        (old, ok)
+    }
+
+    fn perform_fence(&mut self, tid: usize, ord: Ordering) {
+        let t = &mut self.threads[tid];
+        t.clock.tick(tid);
+        if is_acquire(ord) {
+            let pend = t.acq_pending.clone();
+            t.clock.join(&pend);
+        }
+        if is_release(ord) {
+            t.fence_rel = Some(t.clock.clone());
+        }
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            let t = &mut self.threads[tid];
+            t.clock.join(&sc);
+            let tc = t.clock.clone();
+            self.sc_clock.join(&tc);
+        }
+    }
+
+    /// Race-check a cell access; panics (caught as a violation) on a race.
+    fn cell_access(&mut self, tid: usize, loc: usize, write: bool) {
+        self.threads[tid].clock.tick(tid);
+        let clock = self.threads[tid].clock.clone();
+        let name = self.locs[loc].name.clone();
+        match &mut self.locs[loc].kind {
+            LocKind::Cell { last_write, reads } => {
+                if reads.len() <= tid {
+                    reads.resize(tid + 1, VClock::default());
+                }
+                if let Some(w) = last_write {
+                    assert!(
+                        w.leq(&clock),
+                        "data race on cell `{name}`: prior write does not happen-before this {}",
+                        if write { "write" } else { "read" }
+                    );
+                }
+                if write {
+                    for (r, rc) in reads.iter().enumerate() {
+                        assert!(
+                            rc.leq(&clock),
+                            "data race on cell `{name}`: read by t{r} does not happen-before this write"
+                        );
+                    }
+                    *last_write = Some(clock);
+                    for rc in reads.iter_mut() {
+                        *rc = VClock::default();
+                    }
+                } else {
+                    reads[tid] = clock;
+                }
+            }
+            LocKind::Atomic { .. } => unreachable!("cell op on atomic location"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context + panic hook
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<Rc<RefCell<Exec>>>> = const { RefCell::new(None) };
+    static IN_ENGINE: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK_INIT: Once = Once::new();
+
+fn install_hook() {
+    HOOK_INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_ENGINE.with(|c| c.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn active() -> Option<Rc<RefCell<Exec>>> {
+    CTX.with(|c| c.borrow().as_ref().cloned())
+}
+
+fn stop_step() -> ! {
+    panic::panic_any(StopToken)
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing entry points (called by the shim)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn route_label(addr: usize, name: &str, init: impl FnOnce() -> u64) {
+    if let Some(rc) = active() {
+        let mut e = rc.borrow_mut();
+        let loc = e.ensure_atomic(addr, init);
+        e.locs[loc].name = name.to_string();
+    }
+}
+
+pub(crate) fn route_cell_label(addr: usize, name: &str) {
+    if let Some(rc) = active() {
+        let mut e = rc.borrow_mut();
+        let loc = e.ensure_cell(addr);
+        e.locs[loc].name = name.to_string();
+    }
+}
+
+pub(crate) fn route_unregister(addr: usize) {
+    if let Some(rc) = active() {
+        if let Ok(mut e) = rc.try_borrow_mut() {
+            e.registry.remove(&addr);
+        }
+    }
+}
+
+pub(crate) fn route_load(addr: usize, init: impl FnOnce() -> u64, ord: Ordering) -> Option<u64> {
+    let rc = active()?;
+    let mut e = rc.borrow_mut();
+    let loc = e.ensure_atomic(addr, init);
+    if e.stepping.is_none() {
+        // Setup / finally: sequential semantics — read the coherence-newest
+        // store (main has joined all threads by the final phase).
+        let v = e.atomic_stores(loc).last().map(|s| s.val);
+        return v;
+    }
+    if let Some(p) = e.try_replay(addr, Kind::Load) {
+        return Some(p.val);
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    let val = e.perform_load(tid, loc, ord);
+    e.record(tid, Performed { addr, kind: Kind::Load, val, ok: true, bytes: [0; CELL_BYTES] });
+    e.push_trace(TraceEv { tid, op: "load", loc, ord, arg: 0, res: val, ok: true });
+    e.last_access = Some((Kind::Load, loc));
+    drop(e);
+    stop_step()
+}
+
+pub(crate) fn route_store(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    val: u64,
+    ord: Ordering,
+) -> bool {
+    let rc = match active() {
+        Some(rc) => rc,
+        None => return false,
+    };
+    let mut e = rc.borrow_mut();
+    let loc = e.ensure_atomic(addr, init);
+    if e.stepping.is_none() {
+        e.perform_store(0, loc, val, ord);
+        return true;
+    }
+    if e.try_replay(addr, Kind::Store).is_some() {
+        return true;
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    e.perform_store(tid, loc, val, ord);
+    e.record(tid, Performed { addr, kind: Kind::Store, val, ok: true, bytes: [0; CELL_BYTES] });
+    e.push_trace(TraceEv { tid, op: "store", loc, ord, arg: val, res: 0, ok: true });
+    e.last_access = Some((Kind::Store, loc));
+    drop(e);
+    stop_step()
+}
+
+pub(crate) fn route_cas(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Option<(u64, bool)> {
+    route_rmw_common(addr, init, RmwOp::Cas { current, new, failure }, success, "cas", new)
+}
+
+pub(crate) fn route_fetch_add(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    add: u64,
+    mask: u64,
+    ord: Ordering,
+) -> Option<u64> {
+    route_rmw_common(addr, init, RmwOp::FetchAdd { add, mask }, ord, "fetch_add", add)
+        .map(|(old, _)| old)
+}
+
+fn route_rmw_common(
+    addr: usize,
+    init: impl FnOnce() -> u64,
+    op: RmwOp,
+    ord: Ordering,
+    opname: &'static str,
+    arg: u64,
+) -> Option<(u64, bool)> {
+    let rc = active()?;
+    let mut e = rc.borrow_mut();
+    let loc = e.ensure_atomic(addr, init);
+    if e.stepping.is_none() {
+        let (old, ok) = e.perform_rmw(0, loc, &op, ord);
+        return Some((old, ok));
+    }
+    if let Some(p) = e.try_replay(addr, Kind::Rmw) {
+        return Some((p.val, p.ok));
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    let (old, ok) = e.perform_rmw(tid, loc, &op, ord);
+    e.record(tid, Performed { addr, kind: Kind::Rmw, val: old, ok, bytes: [0; CELL_BYTES] });
+    e.push_trace(TraceEv { tid, op: opname, loc, ord, arg, res: old, ok });
+    e.last_access = Some((Kind::Rmw, loc));
+    drop(e);
+    stop_step()
+}
+
+pub(crate) fn route_fence(ord: Ordering) -> bool {
+    let rc = match active() {
+        Some(rc) => rc,
+        None => return false,
+    };
+    let mut e = rc.borrow_mut();
+    if e.stepping.is_none() {
+        e.perform_fence(0, ord);
+        return true;
+    }
+    if e.try_replay(0, Kind::Fence).is_some() {
+        return true;
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    e.perform_fence(tid, ord);
+    e.record(
+        tid,
+        Performed { addr: 0, kind: Kind::Fence, val: 0, ok: true, bytes: [0; CELL_BYTES] },
+    );
+    e.push_trace(TraceEv { tid, op: "fence", loc: usize::MAX, ord, arg: 0, res: 0, ok: true });
+    e.last_access = Some((Kind::Fence, usize::MAX));
+    drop(e);
+    stop_step()
+}
+
+pub(crate) fn route_cell_read(addr: usize, raw: impl FnOnce() -> Bytes) -> Option<Bytes> {
+    let rc = active()?;
+    let mut e = rc.borrow_mut();
+    let loc = e.ensure_cell(addr);
+    if e.stepping.is_none() {
+        e.cell_access(0, loc, false);
+        drop(e);
+        return Some(raw());
+    }
+    if let Some(p) = e.try_replay(addr, Kind::CellRead) {
+        return Some(p.bytes);
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    e.cell_access(tid, loc, false);
+    drop(e);
+    let bytes = raw();
+    let mut e = rc.borrow_mut();
+    e.record(tid, Performed { addr, kind: Kind::CellRead, val: 0, ok: true, bytes });
+    e.push_trace(TraceEv {
+        tid,
+        op: "read",
+        loc,
+        ord: Ordering::Relaxed,
+        arg: 0,
+        res: u64::from_le_bytes(bytes[..8].try_into().unwrap_or([0; 8])),
+        ok: true,
+    });
+    e.last_access = Some((Kind::CellRead, loc));
+    drop(e);
+    stop_step()
+}
+
+pub(crate) fn route_cell_write(addr: usize, do_write: impl FnOnce()) -> bool {
+    let rc = match active() {
+        Some(rc) => rc,
+        None => return false,
+    };
+    let mut e = rc.borrow_mut();
+    let loc = e.ensure_cell(addr);
+    if e.stepping.is_none() {
+        e.cell_access(0, loc, true);
+        // Passthrough: the caller performs the raw write.
+        return false;
+    }
+    if e.try_replay(addr, Kind::CellWrite).is_some() {
+        // Already applied when first performed; do not clobber later writes.
+        return true;
+    }
+    let tid = e.acting();
+    e.bump_ops();
+    e.cell_access(tid, loc, true);
+    drop(e);
+    do_write();
+    let mut e = rc.borrow_mut();
+    e.record(
+        tid,
+        Performed { addr, kind: Kind::CellWrite, val: 0, ok: true, bytes: [0; CELL_BYTES] },
+    );
+    e.push_trace(TraceEv {
+        tid,
+        op: "write",
+        loc,
+        ord: Ordering::Relaxed,
+        arg: 0,
+        res: 0,
+        ok: true,
+    });
+    e.last_access = Some((Kind::CellWrite, loc));
+    drop(e);
+    stop_step()
+}
+
+/// Record a model-thread output value (replay-safe; conflicts with nothing
+/// and is not a scheduling point). See [`crate::model::out`].
+pub(crate) fn route_note(val: u64) {
+    if let Some(rc) = active() {
+        let mut e = rc.borrow_mut();
+        if e.stepping.is_none() {
+            if e.outputs.is_empty() {
+                e.outputs.push(Vec::new());
+            }
+            e.outputs[0].push(val);
+            return;
+        }
+        if e.try_replay(usize::MAX, Kind::Note).is_some() {
+            return;
+        }
+        let tid = e.acting();
+        e.bump_ops();
+        if e.outputs.len() <= tid {
+            e.outputs.resize(tid + 1, Vec::new());
+        }
+        e.outputs[tid].push(val);
+        e.record(
+            tid,
+            Performed { addr: usize::MAX, kind: Kind::Note, val, ok: true, bytes: [0; CELL_BYTES] },
+        );
+        e.push_trace(TraceEv {
+            tid,
+            op: "out",
+            loc: usize::MAX,
+            ord: Ordering::Relaxed,
+            arg: val,
+            res: 0,
+            ok: true,
+        });
+    }
+}
+
+pub(crate) fn current_outputs() -> Vec<Vec<u64>> {
+    match active() {
+        Some(rc) => rc.borrow().outputs.clone(),
+        None => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_name(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+enum StepRes {
+    Stopped((Kind, usize)),
+    Finished,
+    Panic(String),
+}
+
+enum RunRes {
+    Complete,
+    Pruned,
+    Violation(String),
+}
+
+pub(crate) fn explore(model: &str, cfg: Config, scenario: &dyn Fn(&mut Sim)) -> Outcome {
+    install_hook();
+    let exec = Rc::new(RefCell::new(Exec::new(cfg)));
+    CTX.with(|c| *c.borrow_mut() = Some(exec.clone()));
+    let out = explore_inner(model, cfg, scenario, &exec);
+    CTX.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+fn explore_inner(
+    model: &str,
+    cfg: Config,
+    scenario: &dyn Fn(&mut Sim),
+    exec: &Rc<RefCell<Exec>>,
+) -> Outcome {
+    loop {
+        let res = run_one(scenario, exec);
+        let mut e = exec.borrow_mut();
+        e.stats.executions += 1;
+        match res {
+            RunRes::Violation(message) => {
+                let cex = build_counterexample(model, &message, &e);
+                return Outcome::Violation(Box::new(cex));
+            }
+            RunRes::Complete | RunRes::Pruned => {
+                if matches!(res, RunRes::Pruned) {
+                    e.stats.pruned += 1;
+                }
+                // Backtrack: drop exhausted suffix, advance the deepest
+                // non-exhausted choice.
+                loop {
+                    match e.stack.last_mut() {
+                        None => return Outcome::Pass(e.stats),
+                        Some(top) if top.taken + 1 < top.alts => {
+                            top.taken += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            e.stack.pop();
+                        }
+                    }
+                }
+                if e.stats.executions >= cfg.max_execs {
+                    return Outcome::Exhausted(e.stats);
+                }
+            }
+        }
+    }
+}
+
+fn run_one(scenario: &dyn Fn(&mut Sim), exec: &Rc<RefCell<Exec>>) -> RunRes {
+    exec.borrow_mut().reset_for_execution();
+
+    // Phase 1: setup. The scenario registers threads and finals; its own
+    // shim accesses execute sequentially as pseudo-thread 0.
+    {
+        let mut e = exec.borrow_mut();
+        e.threads.push(ThreadSt::default()); // tid 0 = main
+    }
+    let mut sim = Sim::default();
+    let setup = run_guarded(AssertUnwindSafe(|| scenario(&mut sim)));
+    if let Err(msg) = setup {
+        return RunRes::Violation(format!("setup panicked: {msg}"));
+    }
+    let nthreads = sim.threads.len();
+    {
+        let mut e = exec.borrow_mut();
+        let base = e.threads[0].clock.clone();
+        for _ in 0..nthreads {
+            e.threads.push(ThreadSt { clock: base.clone(), ..ThreadSt::default() });
+        }
+        e.thread_fns = sim.threads;
+        e.final_fns = sim.finals;
+        e.outputs = vec![Vec::new(); nthreads + 1];
+    }
+
+    // Phase 2: exhaustive stepping.
+    let mut sleeping: Vec<Option<(Kind, usize)>> = vec![None; nthreads + 1];
+    loop {
+        let (eligible, enabled_count) = {
+            let e = exec.borrow();
+            let mut elig = Vec::new();
+            let mut enabled = 0usize;
+            for (tid, slept) in sleeping.iter().enumerate().take(nthreads + 1).skip(1) {
+                if !e.threads[tid].finished {
+                    enabled += 1;
+                    if slept.is_none() {
+                        elig.push(tid);
+                    }
+                }
+            }
+            (elig, enabled)
+        };
+        if enabled_count == 0 {
+            break;
+        }
+        if eligible.is_empty() {
+            // Every enabled thread is asleep: this schedule only commutes
+            // independent steps of one already explored. Redundant.
+            return RunRes::Pruned;
+        }
+        let (idx, node_idx) = {
+            let mut e = exec.borrow_mut();
+            if eligible.len() > 1 {
+                let at = e.cursor;
+                let idx = e.choose(NodeKind::Sched, eligible.len());
+                (idx, Some(at))
+            } else {
+                (0, None)
+            }
+        };
+        let tid = eligible[idx];
+        // Siblings explored before this child sleep throughout its subtree.
+        if let Some(ni) = node_idx {
+            let e = exec.borrow();
+            for &(stid, k, l) in e.stack[ni].explored.iter().take(idx) {
+                sleeping[stid] = Some((k, l));
+            }
+        }
+        match step(exec, tid) {
+            StepRes::Panic(msg) => return RunRes::Violation(msg),
+            StepRes::Stopped(access) => {
+                if let Some(ni) = node_idx {
+                    let mut e = exec.borrow_mut();
+                    if e.stack[ni].explored.len() == idx {
+                        e.stack[ni].explored.push((tid, access.0, access.1));
+                    }
+                }
+                for slot in sleeping.iter_mut() {
+                    if let Some(b) = *slot {
+                        if conflicts(access, b) {
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            StepRes::Finished => {
+                if let Some(ni) = node_idx {
+                    let mut e = exec.borrow_mut();
+                    if e.stack[ni].explored.len() == idx {
+                        // A finishing step with no synchronizing access
+                        // commutes with everything.
+                        e.stack[ni].explored.push((tid, Kind::Note, usize::MAX));
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: finally. Main joins every thread clock, then invariants run
+    // with sequential semantics.
+    let finals = {
+        let mut e = exec.borrow_mut();
+        e.stepping = None;
+        let joined: Vec<VClock> = e.threads[1..].iter().map(|t| t.clock.clone()).collect();
+        for c in &joined {
+            e.threads[0].clock.join(c);
+        }
+        e.final_fns.clone()
+    };
+    for f in finals {
+        if let Err(msg) = run_guarded(AssertUnwindSafe(|| f())) {
+            return RunRes::Violation(msg);
+        }
+    }
+    RunRes::Complete
+}
+
+/// Advance thread `tid` by one step: re-run its closure, replaying recorded
+/// results, until it performs one fresh scheduling-point operation (halted by
+/// `StopToken`) or returns.
+fn step(exec: &Rc<RefCell<Exec>>, tid: usize) -> StepRes {
+    let f = {
+        let mut e = exec.borrow_mut();
+        e.stepping = Some(tid);
+        e.threads[tid].replay_pos = 0;
+        e.last_access = None;
+        e.thread_fns[tid - 1].clone()
+    };
+    let result = {
+        IN_ENGINE.with(|c| c.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(|| f()));
+        IN_ENGINE.with(|c| c.set(false));
+        r
+    };
+    let mut e = exec.borrow_mut();
+    e.stepping = None;
+    match result {
+        Ok(()) => {
+            e.threads[tid].finished = true;
+            StepRes::Finished
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<StopToken>().is_some() {
+                match e.last_access.take() {
+                    Some(a) => StepRes::Stopped(a),
+                    None => StepRes::Panic(
+                        "internal: step stopped without recording an access".to_string(),
+                    ),
+                }
+            } else {
+                StepRes::Panic(panic_msg(payload))
+            }
+        }
+    }
+}
+
+fn run_guarded(f: AssertUnwindSafe<impl FnOnce()>) -> Result<(), String> {
+    IN_ENGINE.with(|c| c.set(true));
+    let r = panic::catch_unwind(f);
+    IN_ENGINE.with(|c| c.set(false));
+    r.map_err(panic_msg)
+}
+
+fn build_counterexample(model: &str, message: &str, e: &Exec) -> Counterexample {
+    let loc_name = |loc: usize| -> String {
+        if loc == usize::MAX {
+            String::new()
+        } else {
+            e.locs.get(loc).map(|l| l.name.clone()).unwrap_or_default()
+        }
+    };
+    let trace = e
+        .trace
+        .iter()
+        .map(|ev| {
+            let name = loc_name(ev.loc);
+            match ev.op {
+                "load" => format!("t{} {}.load({}) -> {}", ev.tid, name, ord_name(ev.ord), ev.res),
+                "store" => format!("t{} {}.store({}, {})", ev.tid, name, ev.arg, ord_name(ev.ord)),
+                "cas" => format!(
+                    "t{} {}.compare_exchange(.., {}, {}) -> {} ({})",
+                    ev.tid,
+                    name,
+                    ev.arg,
+                    ord_name(ev.ord),
+                    ev.res,
+                    if ev.ok { "ok" } else { "failed" }
+                ),
+                "fetch_add" => format!(
+                    "t{} {}.fetch_add({}, {}) -> {}",
+                    ev.tid,
+                    name,
+                    ev.arg,
+                    ord_name(ev.ord),
+                    ev.res
+                ),
+                "read" => format!("t{} {}.cell_read() -> {}", ev.tid, name, ev.res),
+                "write" => format!("t{} {}.cell_write()", ev.tid, name),
+                "fence" => format!("t{} fence({})", ev.tid, ord_name(ev.ord)),
+                "out" => format!("t{} out({})", ev.tid, ev.arg),
+                other => format!("t{} {other}", ev.tid),
+            }
+        })
+        .collect();
+    Counterexample {
+        model: model.to_string(),
+        message: message.to_string(),
+        trace,
+        executions: e.stats.executions,
+        schedule: e.stack.iter().map(|n| n.taken).collect(),
+    }
+}

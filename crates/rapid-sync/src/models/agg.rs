@@ -1,0 +1,213 @@
+//! Bounded model of the aggregation flush ladder: `AggPort::flush_dst` /
+//! `send_package` batch hand-off plus the pending-hint accounting the END
+//! barrier trusts (`crates/rapid-machine/src/machine.rs`).
+//!
+//! One destination slot (state + one batch entry cell + a batch-length
+//! cell), one sender, one receiver. The sender fast-path-sends package 21
+//! (claims the slot, writes the batch, publishes FULL, then lowers the
+//! pending hint), leaving package 22 buffered; it then runs a two-round
+//! flush ladder that only succeeds if the receiver has drained in between.
+//! The `finally` invariant mirrors the END barrier: the pending hint must
+//! equal the number of still-buffered packages (the barrier exits when the
+//! hint reaches zero — an early decrement strands packages), and total
+//! delivery must be exactly-once, in order.
+
+// sync-audit: this is a bounded *model* — Relaxed orderings appear here both
+// as deliberate parts of the audited protocol (the pending hint) and as
+// seeded mutants the checker must refute; they are simulated, never executed
+// against real memory.
+
+use std::rc::Rc;
+
+use crate::model::{out, outputs, Sim};
+use crate::{Ordering, SyncAtomicU8, SyncAtomicUsize, SyncCell};
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const FULL: u8 = 2;
+
+const PKG_A: u64 = 21;
+const PKG_B: u64 = 22;
+
+/// Orderings and accounting switches for the aggregation hand-off.
+#[derive(Clone, Copy, Debug)]
+pub struct AggConfig {
+    pub cas_success: Ordering,
+    pub cas_failure: Ordering,
+    pub full_store: Ordering,
+    pub empty_store: Ordering,
+    pub take_load: Ordering,
+    /// Pending-hint stores. Relaxed in GOOD: the hint is only read by the
+    /// END barrier after quiescence (that is exactly why `machine.rs`
+    /// carries a sync-audit header for it).
+    pub hint_store: Ordering,
+    /// Mutant: lower the pending hint *before* the hand-off CAS is known to
+    /// succeed — a failed flush then strands the package with hint 0.
+    pub hint_before_send: bool,
+    /// Mutant: publish FULL before the batch payload/length writes.
+    pub publish_before_payload: bool,
+}
+
+/// Mirrors the audited `machine.rs` code.
+pub const GOOD: AggConfig = AggConfig {
+    cas_success: Ordering::Acquire,
+    cas_failure: Ordering::Relaxed,
+    full_store: Ordering::Release,
+    empty_store: Ordering::Release,
+    take_load: Ordering::Acquire,
+    hint_store: Ordering::Relaxed,
+    hint_before_send: false,
+    publish_before_payload: false,
+};
+
+/// Seeded mutation corpus: each entry must be refuted by the checker.
+pub fn mutants() -> Vec<(&'static str, AggConfig)> {
+    vec![
+        ("agg-full-store-relaxed", AggConfig { full_store: Ordering::Relaxed, ..GOOD }),
+        ("agg-empty-store-relaxed", AggConfig { empty_store: Ordering::Relaxed, ..GOOD }),
+        ("agg-hint-before-send", AggConfig { hint_before_send: true, ..GOOD }),
+        ("agg-publish-before-payload", AggConfig { publish_before_payload: true, ..GOOD }),
+    ]
+}
+
+/// Build the scenario for one configuration.
+pub fn scenario(cfg: AggConfig) -> impl Fn(&mut Sim) {
+    move |sim: &mut Sim| {
+        let state = Rc::new(SyncAtomicU8::new(EMPTY));
+        let entry = Rc::new(SyncCell::new(0u64));
+        let len = Rc::new(SyncCell::new(0u64));
+        let hint = Rc::new(SyncAtomicUsize::new(2));
+        // Sender-side buffer mirror so `finally` can see what is stranded;
+        // written only by the sender thread and read post-join.
+        let buffered = Rc::new(SyncCell::new(1u64)); // PKG_B queued
+        state.label("state");
+        entry.label("entry");
+        len.label("len");
+        hint.label("pending");
+        buffered.label("buffered");
+
+        // Sender (t1): fast-path send of PKG_A, then a 2-round flush ladder
+        // for the buffered PKG_B.
+        {
+            let state = Rc::clone(&state);
+            let entry = Rc::clone(&entry);
+            let len = Rc::clone(&len);
+            let hint = Rc::clone(&hint);
+            let buffered = Rc::clone(&buffered);
+            sim.thread(move || {
+                let mut pending = 2usize;
+                let mut queue = vec![PKG_A]; // fast path batch
+                                             // Round 0 is the fast-path send; rounds 1–2 are the ladder.
+                for round in 0..3 {
+                    if queue.is_empty() {
+                        break;
+                    }
+                    if cfg.hint_before_send {
+                        // Seeded accounting bug: the hint drops before the
+                        // hand-off is known to succeed (and is not restored).
+                        pending = pending.saturating_sub(queue.len());
+                        hint.store(pending, cfg.hint_store);
+                    }
+                    let claimed = state
+                        .compare_exchange(EMPTY, WRITING, cfg.cas_success, cfg.cas_failure)
+                        .is_ok();
+                    if claimed {
+                        if cfg.publish_before_payload {
+                            state.store(FULL, cfg.full_store);
+                        }
+                        // SAFETY (model): exclusivity is supposed to be
+                        // granted by winning the EMPTY→WRITING CAS; the
+                        // checker race-detects configurations where the
+                        // orderings fail to deliver it.
+                        unsafe {
+                            entry.write(queue[0]);
+                            len.write(queue.len() as u64);
+                        }
+                        if !cfg.publish_before_payload {
+                            state.store(FULL, cfg.full_store);
+                        }
+                        if !cfg.hint_before_send {
+                            pending -= queue.len();
+                            hint.store(pending, cfg.hint_store);
+                        }
+                        for v in queue.drain(..) {
+                            out(v);
+                        }
+                        if round == 0 {
+                            // Threshold reached: PKG_B moves from the local
+                            // buffer into the flush queue.
+                            queue.push(PKG_B);
+                            // SAFETY (model): single sender owns the buffer
+                            // mirror until join.
+                            unsafe { buffered.write(0) };
+                        }
+                    }
+                }
+                if !queue.is_empty() {
+                    // Stranded in the ladder: record it in the mirror.
+                    // SAFETY (model): single sender owns the buffer mirror.
+                    unsafe { buffered.write(queue.len() as u64) };
+                }
+            });
+        }
+
+        // Receiver (t2): two drain polls.
+        {
+            let state = Rc::clone(&state);
+            let entry = Rc::clone(&entry);
+            let len = Rc::clone(&len);
+            sim.thread(move || {
+                for _poll in 0..2 {
+                    if state.load(cfg.take_load) == FULL {
+                        // SAFETY (model): FULL is supposed to publish the
+                        // batch written before it; see sender.
+                        let n = unsafe { len.read() };
+                        if n > 0 {
+                            // SAFETY (model): as above.
+                            let v = unsafe { entry.read() };
+                            out(v);
+                        }
+                        state.store(EMPTY, cfg.empty_store);
+                    }
+                }
+            });
+        }
+
+        // Finally: the END barrier contract.
+        {
+            let state = Rc::clone(&state);
+            let entry = Rc::clone(&entry);
+            let len = Rc::clone(&len);
+            let hint = Rc::clone(&hint);
+            let buffered = Rc::clone(&buffered);
+            sim.finally(move || {
+                let outs = outputs();
+                let mut received = outs[2].clone();
+                if state.load(Ordering::Acquire) == FULL {
+                    // SAFETY: all model threads have joined; exclusive.
+                    let n = unsafe { len.read() };
+                    if n > 0 {
+                        received.push(unsafe { entry.read() });
+                    }
+                }
+                // SAFETY: all model threads have joined; exclusive.
+                let rem = unsafe { buffered.read() };
+                let h = hint.load(Ordering::Acquire) as u64;
+                assert_eq!(
+                    h, rem,
+                    "END-barrier pending hint must match buffered packages at quiescence"
+                );
+                if rem > 0 {
+                    // The barrier keeps flushing while the hint is nonzero,
+                    // so the stranded package is eventually delivered.
+                    received.push(PKG_B);
+                }
+                assert_eq!(
+                    received,
+                    vec![PKG_A, PKG_B],
+                    "aggregated packages must be delivered exactly once, in order"
+                );
+            });
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded model of the flat-ring seqlock: `FlatWriter::push` vs a live
+//! `FlatRing::claim` (`crates/rapid-trace/src/ring.rs`).
+//!
+//! cap = 2 slots, one word per record; the writer publishes records 0..3
+//! (value `101 + r` into slot `r % 2`, then `head := r + 1` with Release),
+//! so record 2 wraps and overwrites record 0's slot mid-claim in some
+//! interleavings. The reader performs one live claim from cursor 0 and
+//! asserts every record the stability margin classifies as stable carries
+//! its exact value; a `finally` invariant re-claims quiesced and checks the
+//! exact drop count.
+//!
+//! The GOOD configuration includes the two seqlock fences (release fence in
+//! `push` before the word stores; acquire fence in `claim` between the word
+//! copies and the `h2` re-read). The checker found the fence-less protocol —
+//! the pre-audit `ring.rs` code — unsound under weak memory: a relaxed word
+//! load may observe record `r + cap`'s overwrite while `h2` still classifies
+//! record `r` as stable, because nothing orders the word loads before the
+//! `h2` load. That fence-less variant is kept here as the `no-writer-fence` /
+//! `no-reader-fence` mutants.
+
+// sync-audit: this is a bounded *model* — Relaxed orderings appear here both
+// as deliberate parts of the audited protocol and as seeded mutants the
+// checker must refute; they are simulated, never executed against real memory.
+
+use std::rc::Rc;
+
+use crate::model::Sim;
+use crate::{sync_fence, Ordering, SyncAtomicU64};
+
+/// Orderings and claim-logic switches for the ring protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct RingConfig {
+    pub head_store: Ordering,
+    pub head_load: Ordering,
+    pub word_store: Ordering,
+    pub word_load: Ordering,
+    /// Release fence in `push` before the word stores.
+    pub writer_fence: bool,
+    /// Acquire fence in `claim` before the `h2` re-read.
+    pub reader_fence: bool,
+    /// Re-read `head` after the copy at all (`false` ⇒ `stable_lo = lo`).
+    pub recheck: bool,
+    /// Use the correct `(h2 + 1) - cap` margin (`false` ⇒ `h2 - cap`).
+    pub margin_plus_one: bool,
+}
+
+/// Mirrors the audited `ring.rs` code (post-fence-fix).
+pub const GOOD: RingConfig = RingConfig {
+    head_store: Ordering::Release,
+    head_load: Ordering::Acquire,
+    word_store: Ordering::Relaxed,
+    word_load: Ordering::Relaxed,
+    writer_fence: true,
+    reader_fence: true,
+    recheck: true,
+    margin_plus_one: true,
+};
+
+/// Seeded mutation corpus: each entry must be refuted by the checker.
+pub fn mutants() -> Vec<(&'static str, RingConfig)> {
+    vec![
+        ("ring-head-store-relaxed", RingConfig { head_store: Ordering::Relaxed, ..GOOD }),
+        ("ring-head-load-relaxed", RingConfig { head_load: Ordering::Relaxed, ..GOOD }),
+        ("ring-no-writer-fence", RingConfig { writer_fence: false, ..GOOD }),
+        ("ring-no-reader-fence", RingConfig { reader_fence: false, ..GOOD }),
+        ("ring-no-recheck", RingConfig { recheck: false, ..GOOD }),
+        ("ring-margin-off-by-one", RingConfig { margin_plus_one: false, ..GOOD }),
+    ]
+}
+
+const CAP: u64 = 2;
+const RECORDS: u64 = 3;
+
+fn value(r: u64) -> u64 {
+    101 + r
+}
+
+/// Build the scenario for one configuration.
+pub fn scenario(cfg: RingConfig) -> impl Fn(&mut Sim) {
+    move |sim: &mut Sim| {
+        let head = Rc::new(SyncAtomicU64::new(0));
+        let words = Rc::new([SyncAtomicU64::new(0), SyncAtomicU64::new(0)]);
+        head.label("head");
+        words[0].label("w0");
+        words[1].label("w1");
+
+        // Writer: FlatWriter::push for records 0..RECORDS.
+        {
+            let head = Rc::clone(&head);
+            let words = Rc::clone(&words);
+            sim.thread(move || {
+                for r in 0..RECORDS {
+                    if cfg.writer_fence {
+                        sync_fence(Ordering::Release);
+                    }
+                    words[(r % CAP) as usize].store(value(r), cfg.word_store);
+                    head.store(r + 1, cfg.head_store);
+                }
+            });
+        }
+
+        // Reader: one live FlatRing::claim(from = 0).
+        {
+            let head = Rc::clone(&head);
+            let words = Rc::clone(&words);
+            sim.thread(move || {
+                let h1 = head.load(cfg.head_load);
+                if h1 == 0 {
+                    return;
+                }
+                let lo = h1.saturating_sub(CAP);
+                let mut copied = Vec::new();
+                for r in lo..h1 {
+                    copied.push(words[(r % CAP) as usize].load(cfg.word_load));
+                }
+                if cfg.reader_fence {
+                    sync_fence(Ordering::Acquire);
+                }
+                let h2 = if cfg.recheck { head.load(cfg.head_load) } else { h1 };
+                assert!(h2 >= h1, "head must be monotone (h1={h1}, h2={h2})");
+                let margin = if cfg.margin_plus_one { h2 + 1 } else { h2 };
+                let stable_lo = lo.max(margin.saturating_sub(CAP));
+                for (i, r) in (lo..h1).enumerate() {
+                    if r >= stable_lo {
+                        assert_eq!(
+                            copied[i],
+                            value(r),
+                            "claim returned corrupt stable record {r} (h1={h1}, h2={h2})"
+                        );
+                    }
+                }
+            });
+        }
+
+        // Finally: claim_quiesced is exact after the writer joined.
+        {
+            let head = Rc::clone(&head);
+            let words = Rc::clone(&words);
+            sim.finally(move || {
+                let h = head.load(Ordering::Acquire);
+                assert_eq!(h, RECORDS, "quiesced head is the exact publish count");
+                let lo = h.saturating_sub(CAP);
+                assert_eq!(lo, RECORDS - CAP, "quiesced drop count is exact");
+                for r in lo..h {
+                    let v = words[(r % CAP) as usize].load(Ordering::Relaxed);
+                    assert_eq!(v, value(r), "quiesced claim corrupt record {r}");
+                }
+            });
+        }
+    }
+}

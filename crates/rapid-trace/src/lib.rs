@@ -32,6 +32,7 @@
 //! the checker a plain-data [`ProtocolSpec`] built from its plan.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod check;
 pub mod corpus;

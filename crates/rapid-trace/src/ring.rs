@@ -21,9 +21,15 @@
 //! only records the writer cannot have been overwriting during the copy.
 //! The writer never waits and never observes the reader.
 
+// sync-audit: the record words are deliberately Relaxed — they carry no
+// happens-before edges of their own. Publication order is enforced by the
+// Release fence + Release `head` store in `push`, and reader stability by the
+// Acquire fence before the `h2` re-read in `claim`. This protocol is model-
+// checked exhaustively by `rapid_sync::models::ring` (see DESIGN.md §16).
+
 use crate::event::{Event, ProtoState, TraceTier, Ts};
 use crate::record::{self, fault_index, pack, pack_two};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rapid_sync::{sync_fence, Ordering, SyncAtomicU64};
 
 /// Words per record.
 const REC_WORDS: usize = 4;
@@ -33,8 +39,8 @@ const REC_WORDS: usize = 4;
 pub struct FlatRing {
     /// Processor id this ring records for.
     pub proc: u32,
-    words: Box<[AtomicU64]>,
-    head: AtomicU64,
+    words: Box<[SyncAtomicU64]>,
+    head: SyncAtomicU64,
     cap: u64,
 }
 
@@ -50,16 +56,17 @@ impl FlatRing {
         // on every executor run.
         let zeroed = vec![0u64; cap * REC_WORDS].into_boxed_slice();
         let len = zeroed.len();
-        let ptr = Box::into_raw(zeroed) as *mut AtomicU64;
-        // SAFETY: `AtomicU64` is guaranteed to have the same size and
-        // in-memory representation as `u64` (checked below), and the box
-        // uniquely owns the allocation.
+        let ptr = Box::into_raw(zeroed) as *mut SyncAtomicU64;
+        // SAFETY: `SyncAtomicU64` is `repr(transparent)` over `AtomicU64`,
+        // which is guaranteed to have the same size and in-memory
+        // representation as `u64` (checked below), and the box uniquely owns
+        // the allocation.
         const _: () = assert!(
-            std::mem::size_of::<AtomicU64>() == std::mem::size_of::<u64>()
-                && std::mem::align_of::<AtomicU64>() == std::mem::align_of::<u64>()
+            std::mem::size_of::<SyncAtomicU64>() == std::mem::size_of::<u64>()
+                && std::mem::align_of::<SyncAtomicU64>() == std::mem::align_of::<u64>()
         );
         let words = unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len)) };
-        FlatRing { proc, words, head: AtomicU64::new(0), cap: cap as u64 }
+        FlatRing { proc, words, head: SyncAtomicU64::new(0), cap: cap as u64 }
     }
 
     /// Record capacity (power of two).
@@ -130,6 +137,13 @@ impl FlatRing {
                 self.words[s + 3].load(Ordering::Relaxed),
             ]);
         }
+        // Classic seqlock reader: the relaxed word copies above must be
+        // ordered before the `h2` validation load, otherwise a copy can
+        // observe a wrapped overwrite (record `r + cap`) while `h2` still
+        // reads a head value that classifies record `r` as stable
+        // (model-checked: deleting this fence is the `ring-no-reader-fence`
+        // mutant). Compiles to a compiler-only barrier on x86.
+        sync_fence(Ordering::Acquire);
         let h2 = self.head.load(Ordering::Acquire);
         let stable_lo = lo.max((h2 + 1).saturating_sub(self.cap));
         if stable_lo > lo {
@@ -187,6 +201,14 @@ impl<'r> FlatWriter<'r> {
     #[inline(always)]
     fn push(&mut self, rec: [u64; 4]) {
         let s = self.ring.slot(self.cursor);
+        // On wrap-around this overwrite must not become visible to a reader
+        // that still classifies the old record in this slot as stable: order
+        // the stores below after every prior record's publication. The
+        // Release `head` store alone does not order the *word* stores of
+        // record `r + cap` against a reader's `h2` re-read (model-checked:
+        // deleting this fence is the `ring-no-writer-fence` mutant). Compiles
+        // to a compiler-only barrier on x86.
+        sync_fence(Ordering::Release);
         self.ring.words[s].store(rec[0], Ordering::Relaxed);
         self.ring.words[s + 1].store(rec[1], Ordering::Relaxed);
         self.ring.words[s + 2].store(rec[2], Ordering::Relaxed);
